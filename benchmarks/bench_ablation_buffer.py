@@ -1,0 +1,67 @@
+"""Ablation: gateway buffer size vs Reno burstiness.
+
+The paper cites Lakshman & Madhow (ref [10]) for Reno's sensitivity to
+the gateway buffer size.  This bench sweeps B around the Table-1 value
+(50 packets) at a heavily congested load and reports c.o.v., loss and
+throughput: tiny buffers force constant loss events, huge buffers
+absorb the slow-start bursts.
+"""
+
+from conftest import bench_base_config, bench_duration, emit
+
+from repro.analysis.tables import format_table
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.sweep import run_many
+
+BUFFERS = (12, 25, 50, 100, 200)
+N_CLIENTS = 45
+
+
+def run_ablation():
+    base = bench_base_config(protocol="reno", n_clients=N_CLIENTS)
+    configs = [base.with_(buffer_capacity=b) for b in BUFFERS]
+    return run_many(configs, processes=1)
+
+
+def test_buffer_size_ablation(benchmark):
+    metrics = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [
+            m.n_clients,
+            b,
+            m.cov,
+            m.analytic_cov,
+            m.loss_percent,
+            m.throughput_packets,
+            m.timeouts,
+            m.mean_queue_length,
+        ]
+        for b, m in zip(BUFFERS, metrics)
+    ]
+    emit(
+        format_table(
+            [
+                "clients",
+                "buffer B",
+                "cov",
+                "poisson",
+                "loss %",
+                "delivered",
+                "timeouts",
+                "mean queue",
+            ],
+            rows,
+            precision=3,
+            title=(
+                f"Buffer-size ablation: Reno, {N_CLIENTS} clients, "
+                f"{bench_duration():g}s"
+            ),
+        )
+    )
+    by_buffer = dict(zip(BUFFERS, metrics))
+    # Loss decreases monotonically-ish with buffer size.
+    assert by_buffer[12].loss_percent > by_buffer[200].loss_percent
+    # Small buffers cause more timeout recoveries.
+    assert by_buffer[12].timeouts > by_buffer[200].timeouts
+    # Throughput improves with buffering at this load.
+    assert by_buffer[200].throughput_packets > by_buffer[12].throughput_packets

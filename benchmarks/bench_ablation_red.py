@@ -1,0 +1,72 @@
+"""Ablation: RED configuration vs Reno performance.
+
+Supports the Section 3.4 analysis: RED's (min_th, max_th) band makes
+the buffer look smaller than it is, which hurts Reno in this system.
+Sweeps the thresholds (including a band as large as the physical
+buffer) and the EWMA weight, and includes the Adaptive RED extension.
+"""
+
+from conftest import bench_base_config, bench_duration, emit
+
+from repro.analysis.tables import format_table
+from repro.experiments.sweep import run_many
+
+N_CLIENTS = 45
+
+VARIANTS = [
+    ("fifo B=50", dict(queue="fifo")),
+    ("RED 5/15", dict(queue="red", red_min_th=5.0, red_max_th=15.0)),
+    ("RED 10/40 (paper)", dict(queue="red")),
+    ("RED 25/50", dict(queue="red", red_min_th=25.0, red_max_th=50.0)),
+    ("RED 10/40 w=0.02", dict(queue="red", red_weight=0.02)),
+    ("RED 10/40 gentle", dict(queue="red", red_gentle=True)),
+    ("Adaptive RED", dict(queue="ared")),
+]
+
+
+def run_ablation():
+    base = bench_base_config(protocol="reno", n_clients=N_CLIENTS)
+    configs = [base.with_(**overrides) for _name, overrides in VARIANTS]
+    return run_many(configs, processes=1)
+
+
+def test_red_configuration_ablation(benchmark):
+    metrics = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            m.cov,
+            m.loss_percent,
+            m.throughput_packets,
+            m.timeouts,
+            m.mean_queue_length,
+        ]
+        for (name, _), m in zip(VARIANTS, metrics)
+    ]
+    emit(
+        format_table(
+            ["gateway", "cov", "loss %", "delivered", "timeouts", "mean queue"],
+            rows,
+            precision=3,
+            title=(
+                f"RED configuration ablation: Reno, {N_CLIENTS} clients, "
+                f"{bench_duration():g}s"
+            ),
+        )
+    )
+    by_name = {name: m for (name, _), m in zip(VARIANTS, metrics)}
+    # The paper's central RED finding: paper-RED throughput below FIFO.
+    assert (
+        by_name["RED 10/40 (paper)"].throughput_packets
+        < by_name["fifo B=50"].throughput_packets
+    )
+    # A tighter band (5/15) throttles the queue harder than 25/50.
+    assert (
+        by_name["RED 5/15"].mean_queue_length
+        < by_name["RED 25/50"].mean_queue_length
+    )
+    # Widening the band toward the physical buffer recovers throughput.
+    assert (
+        by_name["RED 25/50"].throughput_packets
+        > by_name["RED 5/15"].throughput_packets
+    )

@@ -1,0 +1,81 @@
+"""Ablation: Vegas alpha/beta thresholds vs gateway pressure.
+
+Section 3.4's arithmetic: each *backlogged* Vegas stream parks between
+alpha and beta packets in the gateway, so N streams demand
+N*alpha..N*beta buffer slots.  At an overloaded 45 clients (every
+stream backlogged) the Table-1 buffer holds 50 packets, so:
+
+* (0.5, 1.5): demand 22..67 -- roughly feasible, Vegas stays loss-shy;
+* (1, 3) [the paper's values]: demand 45..135 -- structural overflow,
+  the regime behind Vegas's residual losses in Figure 4;
+* (2, 4) and up: demand far beyond B, losses and timeouts grow.
+
+The bench verifies that scaling the thresholds down restores Vegas's
+low-loss, low-burstiness behaviour.
+"""
+
+from conftest import bench_base_config, bench_duration, emit
+
+from repro.analysis.tables import format_table
+from repro.core.fluid import vegas_equilibrium_queue
+from repro.experiments.sweep import run_many
+
+THRESHOLDS = ((0.5, 1.5), (1.0, 3.0), (2.0, 4.0), (3.0, 6.0))
+N_CLIENTS = 45  # past the knee: all streams backlogged
+
+
+def run_ablation():
+    base = bench_base_config(protocol="vegas", n_clients=N_CLIENTS)
+    configs = [
+        base.with_(vegas_alpha=alpha, vegas_beta=beta)
+        for alpha, beta in THRESHOLDS
+    ]
+    return run_many(configs, processes=1)
+
+
+def test_vegas_threshold_ablation(benchmark):
+    metrics = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = []
+    for (alpha, beta), m in zip(THRESHOLDS, metrics):
+        low, high = vegas_equilibrium_queue(N_CLIENTS, alpha, beta)
+        rows.append(
+            [
+                f"({alpha:g}, {beta:g})",
+                f"{low:.0f}..{high:.0f}",
+                m.mean_queue_length,
+                m.loss_percent,
+                m.timeouts,
+                m.throughput_packets,
+                m.cov,
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "(alpha, beta)",
+                "demanded queue",
+                "mean queue",
+                "loss %",
+                "timeouts",
+                "delivered",
+                "cov",
+            ],
+            rows,
+            precision=3,
+            title=(
+                f"Vegas threshold ablation: {N_CLIENTS} clients, "
+                f"{bench_duration():g}s, buffer 50"
+            ),
+        )
+    )
+    by_threshold = dict(zip(THRESHOLDS, metrics))
+    feasible = by_threshold[(0.5, 1.5)]
+    paper = by_threshold[(1.0, 3.0)]
+    aggressive = by_threshold[(2.0, 4.0)]
+    # Structural overflow: once N*alpha outgrows B, loss and timeout
+    # recoveries climb.
+    assert paper.loss_percent > feasible.loss_percent
+    assert aggressive.loss_percent > feasible.loss_percent
+    assert aggressive.timeouts > feasible.timeouts
+    # The feasible setting is also the smoothest.
+    assert feasible.cov <= min(m.cov for m in metrics)

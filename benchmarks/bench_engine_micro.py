@@ -1,0 +1,76 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+hot paths everything else is built on: the event loop, link
+transmission, RED admission, and a small end-to-end scenario.  Useful
+for catching performance regressions in the simulator.
+"""
+
+import random
+
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import run_scenario
+from repro.net.packet import PacketFactory
+from repro.net.queues import DropTailQueue
+from repro.net.red import REDParams, REDQueue
+from repro.sim.engine import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(0.001, chain, remaining - 1)
+
+        chain_count = 20
+        for _ in range(chain_count):
+            sim.schedule(0.0, chain, 500)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed >= 10_000
+
+
+def test_droptail_enqueue_dequeue(benchmark):
+    factory = PacketFactory()
+    packets = [factory.data(0, "a", "b", 1000, seqno=i, now=0.0) for i in range(1000)]
+
+    def churn():
+        queue = DropTailQueue(64)
+        for packet in packets:
+            queue.enqueue(packet, 0.0)
+            if len(queue) > 32:
+                queue.dequeue(0.0)
+        return queue.stats.arrivals
+
+    assert benchmark(churn) == 1000
+
+
+def test_red_admission(benchmark):
+    factory = PacketFactory()
+    packets = [factory.data(0, "a", "b", 1000, seqno=i, now=0.0) for i in range(1000)]
+
+    def churn():
+        queue = REDQueue(64, REDParams(), random.Random(1))
+        now = 0.0
+        for packet in packets:
+            now += 0.001
+            queue.enqueue(packet, now)
+            if len(queue) > 20:
+                queue.dequeue(now)
+        return queue.stats.arrivals
+
+    assert benchmark(churn) == 1000
+
+
+def test_small_scenario_end_to_end(benchmark):
+    config = paper_config(protocol="reno", n_clients=10, duration=5.0, seed=1)
+
+    def run():
+        return run_scenario(config).events_executed
+
+    executed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert executed > 1000

@@ -1,0 +1,59 @@
+"""Figure 2: coefficient of variation of the aggregated traffic.
+
+Paper shape to reproduce:
+
+* the analytic Poisson curve falls like 1/sqrt(N);
+* UDP tracks it closely at every load;
+* the Reno variants rise far above it once the network is congested
+  (the paper reports >140% excess for Reno, ~200% for Reno/RED);
+* Vegas stays much closer to the Poisson curve than Reno;
+* Reno/RED is the worst performer.
+"""
+
+import math
+
+from conftest import bench_base_config, emit, get_paper_sweep
+
+from repro.experiments.figures import figure2_cov
+
+
+def build_figure():
+    return figure2_cov(get_paper_sweep(), bench_base_config())
+
+
+def test_figure2_cov(benchmark):
+    figure = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    emit(figure.render_plot(width=70, height=18))
+    emit(figure.render_table())
+
+    series = figure.series
+    poisson_x, poisson_y = series["Poisson"]
+    heavy = max(poisson_x)  # most congested point in the sweep
+    idx = poisson_x.index(heavy)
+
+    def at_heavy(label):
+        xs, ys = series[label]
+        return ys[xs.index(heavy)]
+
+    poisson = poisson_y[idx]
+    # UDP stays within 15% of the analytic curve.
+    assert abs(at_heavy("UDP") - poisson) / poisson < 0.15
+    # Reno is far above Poisson under heavy congestion.
+    assert at_heavy("Reno") > 1.5 * poisson
+    # Vegas is smoother than Reno.
+    assert at_heavy("Vegas") < at_heavy("Reno")
+    # RED makes Reno worse (the paper's Section 3.4 finding), comparing
+    # the averages over the congested region to damp seed noise.
+    xs, reno_ys = series["Reno"]
+    _, red_ys = series["Reno/RED"]
+    congested = [i for i, x in enumerate(xs) if x >= 38]
+    reno_mean = sum(reno_ys[i] for i in congested) / len(congested)
+    red_mean = sum(red_ys[i] for i in congested) / len(congested)
+    assert red_mean > reno_mean
+    emit(
+        f"[check] at {heavy:g} clients: Poisson={poisson:.3f} "
+        f"UDP={at_heavy('UDP'):.3f} Reno={at_heavy('Reno'):.3f} "
+        f"Reno/RED={at_heavy('Reno/RED'):.3f} Vegas={at_heavy('Vegas'):.3f} "
+        f"Vegas/RED={at_heavy('Vegas/RED'):.3f} "
+        f"DelayAck={at_heavy('Reno/DelayAck'):.3f}"
+    )

@@ -1,0 +1,41 @@
+"""Figure 3: total packets successfully transmitted vs number of clients.
+
+Paper shape to reproduce: throughput saturates near the bottleneck
+capacity past the knee; the plain (FIFO) variants outperform their RED
+counterparts under heavy congestion; Vegas is at least as good as Reno.
+"""
+
+from conftest import bench_base_config, bench_duration, emit, get_paper_sweep
+
+from repro.experiments.figures import figure3_throughput
+
+
+def build_figure():
+    return figure3_throughput(get_paper_sweep(), min_clients=30)
+
+
+def test_figure3_throughput(benchmark):
+    figure = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    emit(figure.render_plot(width=70, height=18))
+    emit(figure.render_table(precision=0))
+
+    series = figure.series
+    capacity = bench_base_config().bottleneck_capacity_pps * bench_duration()
+
+    def mean(label):
+        _xs, ys = series[label]
+        return sum(ys) / len(ys)
+
+    # Nothing exceeds what the bottleneck can physically carry.
+    for label, (_xs, ys) in series.items():
+        assert all(y <= capacity * 1.01 for y in ys), label
+    # Plain beats RED for both protocols (paper Section 3.4).
+    assert mean("Reno") > mean("Reno/RED")
+    assert mean("Vegas") > mean("Vegas/RED")
+    # Everyone fills most of the pipe past the knee.
+    assert mean("Reno") > 0.7 * capacity
+    emit(
+        f"[check] mean delivered / capacity: "
+        f"Reno={mean('Reno')/capacity:.2f} Reno/RED={mean('Reno/RED')/capacity:.2f} "
+        f"Vegas={mean('Vegas')/capacity:.2f} Vegas/RED={mean('Vegas/RED')/capacity:.2f}"
+    )

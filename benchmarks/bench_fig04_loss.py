@@ -1,0 +1,48 @@
+"""Figure 4: packet loss percentage vs number of clients.
+
+Paper shape to reproduce: loss grows past the congestion knee for every
+TCP variant; plain Vegas has the lowest loss; the RED variants lose
+more than their plain counterparts (and the paper highlights Vegas/RED
+losing heavily once N*alpha exceeds RED's max_th).
+"""
+
+from conftest import emit, get_paper_sweep
+
+from repro.experiments.figures import figure4_loss
+
+
+def build_figure():
+    return figure4_loss(get_paper_sweep(), min_clients=30)
+
+
+def test_figure4_loss(benchmark):
+    figure = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    emit(figure.render_plot(width=70, height=18))
+    emit(figure.render_table(precision=2))
+
+    series = figure.series
+
+    def mean(label):
+        _xs, ys = series[label]
+        return sum(ys) / len(ys)
+
+    def last(label):
+        xs, ys = series[label]
+        return ys[xs.index(max(xs))]
+
+    # Loss grows with congestion for Reno.
+    xs, ys = series["Reno"]
+    assert ys[xs.index(max(xs))] > ys[xs.index(min(xs))]
+    # Plain Vegas is the least lossy variant.
+    assert mean("Vegas") <= min(mean(label) for label in series)
+    # RED increases loss over plain FIFO for both protocols.
+    assert mean("Reno/RED") > mean("Reno")
+    assert mean("Vegas/RED") > mean("Vegas")
+    emit(
+        "[check] mean loss %: "
+        + "  ".join(f"{label}={mean(label):.2f}" for label in series)
+    )
+    emit(
+        "[check] loss at heaviest load: "
+        + "  ".join(f"{label}={last(label):.2f}" for label in series)
+    )

@@ -1,0 +1,88 @@
+"""Figures 5-9: evolution of TCP Reno's congestion windows.
+
+Paper shape to reproduce, per client count:
+
+* 20 clients (F5): essentially uncongested -- windows ramp up in slow
+  start and sit at the advertised cap; any losses cluster in slow start.
+* 30 clients (F6): intermittent congestion -- some synchronized
+  decreases early, then windows stabilize.
+* 38 clients (F7): stabilization happens, but much later.
+* 39 clients (F8): the crossover -- windows never stabilize.
+* 60 clients (F9): heavy congestion -- decreases are strongly
+  synchronized across flows.
+"""
+
+from conftest import bench_base_config, bench_duration, emit
+from trace_analysis import (
+    all_decrease_events,
+    last_decrease_time,
+    synchronization_fraction,
+)
+
+from repro.analysis.asciiplot import ascii_step_plot
+from repro.experiments.figures import cwnd_trace_experiment
+
+CLIENT_COUNTS = (20, 30, 38, 39, 60)
+
+
+def run_all():
+    base = bench_base_config()
+    return {
+        n: cwnd_trace_experiment("reno", n, base=base) for n in CLIENT_COUNTS
+    }
+
+
+def test_figures_5_to_9_reno_cwnd(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    duration = bench_duration()
+
+    summary = {}
+    for n, result in sorted(results.items()):
+        traces = result.cwnd_traces
+        events = all_decrease_events(traces)
+        late = sum(1 for t, _flow in events if t > 0.75 * duration)
+        summary[n] = dict(
+            decreases=len(events),
+            late_decreases=late,
+            stabilized_at=last_decrease_time(traces),
+            sync=synchronization_fraction(traces),
+            loss=result.loss_percent,
+            timeouts=result.timeouts,
+        )
+        flow_id = sorted(traces)[0]
+        emit(
+            ascii_step_plot(
+                traces[flow_id],
+                0.0,
+                duration,
+                width=70,
+                height=10,
+                title=(
+                    f"Figure {dict(zip(CLIENT_COUNTS, (5, 6, 7, 8, 9)))[n]}: "
+                    f"Reno cwnd, client {flow_id} of {n}"
+                ),
+            )
+        )
+        emit(
+            f"  n={n}: window decreases={summary[n]['decreases']} "
+            f"({summary[n]['late_decreases']} in the last quarter), "
+            f"last decrease at t={summary[n]['stabilized_at']:.1f}s, "
+            f"synchronized={summary[n]['sync']:.0%}, "
+            f"loss={summary[n]['loss']:.2f}%, timeouts={summary[n]['timeouts']}"
+        )
+
+    # F5: 20 clients is the uncongested case -- (near-)zero loss.
+    assert summary[20]["loss"] < 0.5
+    # F6 vs F8: past the crossover the windows never settle -- decrease
+    # activity persists into the final quarter of the run, and there is
+    # clearly more of it than at 30 clients (where the early transient
+    # dominates and the steady state is mostly quiet).
+    assert summary[39]["late_decreases"] > summary[30]["late_decreases"]
+    assert summary[60]["late_decreases"] > summary[30]["late_decreases"]
+    assert summary[39]["late_decreases"] > 0
+    assert summary[60]["late_decreases"] > 0
+    # Congestion-control activity grows across the crossover.
+    assert summary[39]["decreases"] > summary[30]["decreases"]
+    assert summary[60]["decreases"] > summary[30]["decreases"]
+    # F9: heavy congestion synchronizes the streams' decisions.
+    assert summary[60]["sync"] > 0.5

@@ -1,0 +1,90 @@
+"""Figures 10-12: evolution of TCP Vegas's congestion windows.
+
+Paper shape to reproduce: Vegas windows converge toward a small, fair,
+near-constant value ("each client's congestion window stays close to
+its optimal value"), with far less decrease activity than Reno at the
+same load, and visibly fairer bandwidth sharing (Figures 10-12 vs 5-9).
+"""
+
+import numpy as np
+
+from conftest import bench_base_config, bench_duration, emit
+from trace_analysis import all_decrease_events
+
+from repro.analysis.asciiplot import ascii_step_plot
+from repro.analysis.stats import jains_fairness_index
+from repro.analysis.timeseries import sample_step_series, uniform_grid
+from repro.experiments.figures import cwnd_trace_experiment
+
+CLIENT_COUNTS = (20, 30, 60)
+
+
+def run_all():
+    base = bench_base_config()
+    out = {}
+    for n in CLIENT_COUNTS:
+        out[("vegas", n)] = cwnd_trace_experiment("vegas", n, base=base)
+        out[("reno", n)] = cwnd_trace_experiment("reno", n, base=base)
+    return out
+
+
+def steady_window_stats(result, duration):
+    """Mean and c.o.v. of each traced flow's window over the second half
+    of the run (the steady state the paper's figures show)."""
+    grid = uniform_grid(duration / 2.0, duration, 0.25)
+    means, covs = [], []
+    for trace in result.cwnd_traces.values():
+        values = sample_step_series(trace, grid, initial=1.0)
+        means.append(float(values.mean()))
+        covs.append(float(values.std() / values.mean()) if values.mean() else 0.0)
+    return means, covs
+
+
+def test_figures_10_to_12_vegas_cwnd(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    duration = bench_duration()
+    figure_ids = dict(zip(CLIENT_COUNTS, (10, 11, 12)))
+
+    for n in CLIENT_COUNTS:
+        vegas = results[("vegas", n)]
+        reno = results[("reno", n)]
+        flow_id = sorted(vegas.cwnd_traces)[0]
+        emit(
+            ascii_step_plot(
+                vegas.cwnd_traces[flow_id],
+                0.0,
+                duration,
+                width=70,
+                height=10,
+                title=f"Figure {figure_ids[n]}: Vegas cwnd, client {flow_id} of {n}",
+            )
+        )
+        v_means, v_covs = steady_window_stats(vegas, duration)
+        r_means, r_covs = steady_window_stats(reno, duration)
+        v_events = len(all_decrease_events(vegas.cwnd_traces))
+        r_events = len(all_decrease_events(reno.cwnd_traces))
+        emit(
+            f"  n={n}: Vegas steady windows={['%.1f' % m for m in v_means]} "
+            f"(per-flow cov {np.mean(v_covs):.2f}), decreases={v_events}, "
+            f"loss={vegas.loss_percent:.2f}%"
+        )
+        emit(
+            f"         Reno  steady windows={['%.1f' % m for m in r_means]} "
+            f"(per-flow cov {np.mean(r_covs):.2f}), decreases={r_events}, "
+            f"loss={reno.loss_percent:.2f}%"
+        )
+
+        # Vegas delivers bandwidth at least as fairly as Reno.
+        v_fair = jains_fairness_index(vegas.delivered_per_flow)
+        r_fair = jains_fairness_index(reno.delivered_per_flow)
+        assert v_fair > 0.85
+        emit(f"         fairness: Vegas={v_fair:.3f}  Reno={r_fair:.3f}")
+
+    # Under heavy congestion Vegas's loss stays below Reno's (Figure 4's
+    # plain-FIFO ordering) and its windows fluctuate no more than Reno's.
+    vegas60 = results[("vegas", 60)]
+    reno60 = results[("reno", 60)]
+    assert vegas60.loss_percent < reno60.loss_percent
+    _v_means, v_covs = steady_window_stats(vegas60, duration)
+    _r_means, r_covs = steady_window_stats(reno60, duration)
+    assert np.mean(v_covs) <= np.mean(r_covs) * 1.2

@@ -1,0 +1,38 @@
+"""Figure 13: ratio of timeouts to duplicate ACKs vs number of clients.
+
+Paper shape to reproduce: the ratio is very low for Vegas (it recovers
+via its fine-grained duplicate-ACK mechanism instead of coarse
+timeouts), while Reno -- which collapses to slow start on every timeout
+-- shows a much higher and congestion-growing ratio; this difference is
+the paper's explanation for Reno's drastic window-size adjustments.
+"""
+
+from conftest import emit, get_paper_sweep
+
+from repro.experiments.figures import figure13_timeout_ratio
+
+
+def build_figure():
+    return figure13_timeout_ratio(get_paper_sweep(), min_clients=30)
+
+
+def test_figure13_timeout_ratio(benchmark):
+    figure = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    emit(figure.render_plot(width=70, height=16))
+    emit(figure.render_table(precision=4))
+
+    series = figure.series
+
+    def mean(label):
+        _xs, ys = series[label]
+        return sum(ys) / len(ys)
+
+    # Vegas resolves losses with duplicate ACKs, not timeouts.
+    assert mean("Vegas") < mean("Reno")
+    assert mean("Vegas/RED") < mean("Reno/RED")
+    # The ratio is strictly positive for Reno under congestion.
+    assert mean("Reno") > 0.0
+    emit(
+        "[check] mean timeout/dupACK ratio: "
+        + "  ".join(f"{label}={mean(label):.3f}" for label in series)
+    )

@@ -1,0 +1,78 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every paper artifact (Table 1, Figures 2-13) has a bench that
+regenerates it and prints the resulting rows/series next to the
+expected shape from the paper.  Figures 2, 3, 4 and 13 all derive from
+one (protocol x client-count) sweep; it is computed once per session,
+outside the timed region, and cached.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DURATION`` -- simulated seconds per run (default 60;
+  the paper used 200.  Longer runs dilute the start-up transient and
+  sharpen the Reno/Vegas separation).
+* ``REPRO_BENCH_CLIENTS``  -- comma list of client counts for the sweep
+  (default ``10,20,30,38,44,52,60``).
+* ``REPRO_BENCH_SEED``     -- root RNG seed (default 1).
+* ``REPRO_BENCH_PROCESSES``-- worker processes for the sweep (default:
+  serial; this box may be single-core).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig, paper_config
+from repro.experiments.figures import FIGURE2_PROTOCOLS, run_protocol_sweep
+
+
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "60"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_clients() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_CLIENTS", "10,20,30,38,44,52,60")
+    return [int(part) for part in raw.split(",") if part]
+
+
+def bench_processes() -> Optional[int]:
+    raw = os.environ.get("REPRO_BENCH_PROCESSES")
+    return int(raw) if raw else 1
+
+
+def bench_base_config(**overrides) -> ScenarioConfig:
+    return paper_config(duration=bench_duration(), seed=bench_seed(), **overrides)
+
+
+_SWEEP_CACHE: Dict[str, object] = {}
+
+
+def get_paper_sweep():
+    """The shared Figures-2/3/4/13 sweep (computed once, outside timing)."""
+    if "sweep" not in _SWEEP_CACHE:
+        _SWEEP_CACHE["sweep"] = run_protocol_sweep(
+            bench_clients(),
+            base=bench_base_config(),
+            protocols=FIGURE2_PROTOCOLS,
+            processes=bench_processes(),
+        )
+    return _SWEEP_CACHE["sweep"]
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    return get_paper_sweep()
+
+
+def emit(text: str) -> None:
+    """Print a benchmark artifact (pytest shows it with -s; the tables
+    are the point of these benches, not the timings)."""
+    print()
+    print(text)

@@ -1,0 +1,87 @@
+"""Shared analysis helpers for the congestion-window trace benches."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Trace = Sequence[Tuple[float, float]]
+
+
+def decrease_events(trace: Trace) -> List[float]:
+    """Times at which the congestion window shrank."""
+    times: List[float] = []
+    previous = None
+    for t, value in trace:
+        if previous is not None and value < previous:
+            times.append(t)
+        previous = value
+    return times
+
+
+def all_decrease_events(traces: Dict[int, Trace]) -> List[Tuple[float, int]]:
+    """(time, flow) pairs of every decrease across traced flows, sorted."""
+    events = [
+        (t, flow) for flow, trace in traces.items() for t in decrease_events(trace)
+    ]
+    events.sort()
+    return events
+
+
+def last_decrease_time(traces: Dict[int, Trace]) -> float:
+    """Time of the final window decrease (0 if none) -- the paper's
+    'stabilization' moment is right after this."""
+    events = all_decrease_events(traces)
+    return events[-1][0] if events else 0.0
+
+
+def synchronization_fraction(
+    traces: Dict[int, Trace], window: float = 1.0
+) -> float:
+    """Fraction of decrease events with a decrease of *another* flow
+    within ``window`` seconds -- loss synchronization, quantified."""
+    events = all_decrease_events(traces)
+    if not events:
+        return 0.0
+    shared = 0
+    for i, (t, flow) in enumerate(events):
+        found = False
+        for j in range(i - 1, -1, -1):
+            other_t, other_flow = events[j]
+            if t - other_t > window:
+                break
+            if other_flow != flow:
+                found = True
+                break
+        if not found:
+            for j in range(i + 1, len(events)):
+                other_t, other_flow = events[j]
+                if other_t - t > window:
+                    break
+                if other_flow != flow:
+                    found = True
+                    break
+        if found:
+            shared += 1
+    return shared / len(events)
+
+
+def slow_start_loss_fraction(
+    traces: Dict[int, Trace], ssthresh_guess: float = None
+) -> float:
+    """Fraction of window decreases that happened while the window was
+    still growing exponentially (a decrease from a window that at least
+    doubled since its last decrease) -- the paper's 'nearly all the
+    packet losses occur during slow start' observation."""
+    total = 0
+    in_slow_start = 0
+    for trace in traces.values():
+        floor = 1.0
+        previous = None
+        for _t, value in trace:
+            if previous is not None and value < previous:
+                total += 1
+                if previous >= 2.0 * floor:
+                    in_slow_start += 1
+                floor = max(1.0, value)
+            previous = value
+    return in_slow_start / total if total else 0.0

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Congestion-window dynamics: Figures 5-12 in miniature.
+
+Traces the congestion windows of three spread-out client streams for
+TCP Reno and TCP Vegas at a moderately and a heavily congested load,
+renders them as ASCII step plots, and quantifies the loss
+synchronization the paper describes (Section 3.2): the correlation of
+window decreases across flows.
+
+Run:  python examples/cwnd_dynamics.py          (~30 s)
+"""
+
+import numpy as np
+
+from repro.analysis.asciiplot import ascii_step_plot
+from repro.analysis.timeseries import sample_step_series, uniform_grid
+from repro.experiments.config import paper_config
+from repro.experiments.figures import cwnd_trace_experiment
+
+DURATION = 40.0
+
+
+def decrease_times(trace):
+    """Times at which the congestion window shrank."""
+    times = []
+    previous = None
+    for t, value in trace:
+        if previous is not None and value < previous:
+            times.append(t)
+        previous = value
+    return times
+
+
+def synchronization_score(traces, window=1.0, duration=DURATION):
+    """Fraction of window-decrease events shared by 2+ flows within
+    ``window`` seconds -- a direct measure of the coupling the paper
+    blames for aggregate burstiness."""
+    all_events = [decrease_times(trace) for trace in traces.values()]
+    flat = [(t, flow) for flow, events in enumerate(all_events) for t in events]
+    if not flat:
+        return 0.0, 0
+    flat.sort()
+    shared = 0
+    for t, flow in flat:
+        if any(
+            abs(t - other_t) <= window and other_flow != flow
+            for other_t, other_flow in flat
+        ):
+            shared += 1
+    return shared / len(flat), len(flat)
+
+
+def show(protocol: str, n_clients: int) -> None:
+    base = paper_config(duration=DURATION, seed=1)
+    result = cwnd_trace_experiment(protocol, n_clients, base=base)
+    title = f"{protocol.capitalize()}, {n_clients} clients"
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    for flow_id, trace in sorted(result.cwnd_traces.items()):
+        print(
+            ascii_step_plot(
+                trace,
+                0.0,
+                DURATION,
+                width=70,
+                height=12,
+                title=f"cwnd of client {flow_id}",
+            )
+        )
+        print()
+    score, events = synchronization_score(result.cwnd_traces)
+    grid = uniform_grid(0.0, DURATION, 0.5)
+    mean_windows = [
+        float(np.mean(sample_step_series(tr, grid, initial=1.0)))
+        for tr in result.cwnd_traces.values()
+    ]
+    print(
+        f"window-decrease events: {events}; fraction synchronized across "
+        f"flows (within 1 s): {score:.0%}"
+    )
+    print(
+        "mean windows per flow: "
+        + ", ".join(f"{w:.1f}" for w in mean_windows)
+        + f"   loss={result.loss_percent:.1f}%  timeouts={result.timeouts}"
+    )
+    print()
+
+
+def main() -> None:
+    # Reno: stabilizes at moderate load, synchronized sawtooth when heavy
+    # (paper Figures 6 and 9).
+    show("reno", 30)
+    show("reno", 60)
+    # Vegas: settles to a small, fair, near-constant window (Figures 10-12).
+    show("vegas", 30)
+    show("vegas", 60)
+    print(
+        "Note how Reno's windows keep collapsing and rebuilding in near\n"
+        "lock-step under heavy load, while Vegas flows settle to flat,\n"
+        "nearly equal windows -- the mechanism behind the c.o.v. gap of\n"
+        "Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

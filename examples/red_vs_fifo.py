@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""RED vs FIFO gateways: why RED hurt in this system (Section 3.4).
+
+Runs TCP Reno and TCP Vegas over a drop-tail FIFO gateway, a RED
+gateway, and the self-configuring Adaptive RED extension, at a heavily
+congested load.  Tracks the gateway queue over time to show RED holding
+the *average* queue low (its goal) while the burstier transported
+traffic loses throughput -- the paper's counter-intuitive finding.
+
+Run:  python examples/red_vs_fifo.py          (~30 s)
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.fluid import vegas_equilibrium_queue
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import Scenario
+from repro.net.monitor import QueueMonitor
+
+N_CLIENTS = 45
+DURATION = 40.0
+
+
+def run(protocol: str, queue: str):
+    config = paper_config(
+        protocol=protocol, queue=queue, n_clients=N_CLIENTS, duration=DURATION, seed=1
+    )
+    scenario = Scenario(config)
+    monitor = QueueMonitor(scenario.sim, scenario.network.bottleneck_queue, period=0.5)
+    result = scenario.run()
+    _times, lengths, averages = monitor.as_arrays()
+    return result, lengths, averages
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("reno", "vegas"):
+        for queue in ("fifo", "red", "ared"):
+            result, lengths, averages = run(protocol, queue)
+            rows.append(
+                [
+                    result.config.label,
+                    result.cov,
+                    result.throughput_packets,
+                    result.loss_percent,
+                    float(lengths.mean()),
+                    float(averages.mean()),
+                    result.timeouts,
+                ]
+            )
+            print(f"ran {result.config.label:12s} ...")
+    print()
+    print(
+        format_table(
+            [
+                "gateway",
+                "cov",
+                "delivered",
+                "loss %",
+                "mean queue",
+                "mean RED avg",
+                "timeouts",
+            ],
+            rows,
+            precision=3,
+            title=f"FIFO vs RED vs Adaptive RED ({N_CLIENTS} clients, {DURATION:g}s)",
+        )
+    )
+    low, high = vegas_equilibrium_queue(N_CLIENTS)
+    print()
+    print(
+        f"Section 3.4's arithmetic: {N_CLIENTS} Vegas streams try to keep\n"
+        f"between {low:.0f} and {high:.0f} packets queued, but RED's max_th "
+        f"is 40 packets --\nso the RED gateway is persistently beyond its "
+        f"drop-everything threshold,\nexactly the regime where the paper "
+        f"found Vegas/RED's loss spiking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Reno vs Vegas: the paper's central comparison, as a mini-sweep.
+
+Sweeps the number of clients across the three congestion regimes the
+paper identifies (uncongested / moderately congested / heavily
+congested) for TCP Reno and TCP Vegas over both FIFO and RED gateways,
+then prints the c.o.v., throughput, loss, and timeout figures side by
+side -- a compact rendition of Figures 2, 3, 4 and 13.
+
+Run:  python examples/reno_vs_vegas.py          (~1 minute)
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.theory import poisson_aggregate_cov
+from repro.experiments.config import paper_config
+from repro.experiments.sweep import run_many
+
+CLIENT_COUNTS = (20, 38, 50)  # one point per congestion regime
+# The paper ran 200 s; shorter runs keep the example fast but leave more
+# of the shared start-up transient in the averages, which narrows the
+# Reno/Vegas gap.  Raise DURATION (or add warmup=...) to sharpen it.
+DURATION = 60.0
+
+
+def main() -> None:
+    base = paper_config(duration=DURATION, seed=1)
+    combos = [
+        ("reno", "fifo"),
+        ("reno", "red"),
+        ("vegas", "fifo"),
+        ("vegas", "red"),
+    ]
+    configs = [
+        base.with_(protocol=protocol, queue=queue, n_clients=n)
+        for protocol, queue in combos
+        for n in CLIENT_COUNTS
+    ]
+    print(f"running {len(configs)} scenarios of {DURATION:g}s each ...")
+    metrics = run_many(configs)
+
+    rows = []
+    for m in metrics:
+        analytic = poisson_aggregate_cov(
+            m.n_clients, base.per_client_rate, base.effective_bin_width
+        )
+        rows.append(
+            [
+                m.label,
+                m.n_clients,
+                m.cov,
+                analytic,
+                (m.cov / analytic - 1.0) * 100.0,
+                m.throughput_packets,
+                m.loss_percent,
+                m.timeouts,
+                m.fairness,
+            ]
+        )
+    rows.sort(key=lambda r: (r[1], r[0]))
+    print()
+    print(
+        format_table(
+            [
+                "protocol",
+                "clients",
+                "cov",
+                "poisson",
+                "excess %",
+                "delivered",
+                "loss %",
+                "timeouts",
+                "fairness",
+            ],
+            rows,
+            precision=3,
+            title="Reno vs Vegas across congestion regimes",
+        )
+    )
+    print()
+    print("What to look for (the paper's findings):")
+    print(" * at 20 clients every protocol tracks the Poisson c.o.v.;")
+    print(" * past the ~38-client knee Reno's excess c.o.v. explodes while")
+    print("   Vegas stays near the analytic curve;")
+    print(" * RED increases the excess c.o.v. and reduces throughput for")
+    print("   both protocols;")
+    print(" * Vegas shares bandwidth more fairly (Jain index closer to 1).")
+
+
+if __name__ == "__main__":
+    main()

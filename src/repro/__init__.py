@@ -1,0 +1,46 @@
+"""repro: reproduction of Tinnakornsrisuphap, Feng & Philp (ICDCS 2000),
+"On the Burstiness of the TCP Congestion-Control Mechanism in a
+Distributed Computing System".
+
+The package contains a packet-level discrete-event network simulator
+(the substrate the paper built on ns), packet-counted implementations of
+UDP and TCP Tahoe/Reno/NewReno/Vegas with FIFO and RED gateways, the
+paper's traffic-burstiness analysis (per-RTT coefficient of variation),
+and an experiment harness that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import paper_config, run_scenario
+
+    result = run_scenario(paper_config(protocol="reno", n_clients=40,
+                                       duration=30.0))
+    print(result.cov, result.analytic_cov, result.loss_percent)
+"""
+
+from repro.core import (
+    coefficient_of_variation,
+    modulation_report,
+    poisson_aggregate_cov,
+)
+from repro.experiments import (
+    ScenarioConfig,
+    ScenarioMetrics,
+    ScenarioResult,
+    paper_config,
+    run_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioMetrics",
+    "ScenarioResult",
+    "__version__",
+    "coefficient_of_variation",
+    "modulation_report",
+    "paper_config",
+    "poisson_aggregate_cov",
+    "run_scenario",
+]

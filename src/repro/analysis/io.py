@@ -1,0 +1,51 @@
+"""Result persistence: CSV and JSON export of experiment outputs."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from typing import Any, Mapping, Sequence
+
+
+def _plain(value: Any) -> Any:
+    """Convert a result value to something JSON-serializable."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _plain(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy scalars and arrays
+        return value.tolist()
+    return value
+
+
+def results_to_json(results: Any, path: str, indent: int = 2) -> None:
+    """Serialize any dataclass/dict/array structure to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(_plain(results), handle, indent=indent)
+        handle.write("\n")
+
+
+def results_to_csv(
+    rows: Sequence[Mapping[str, Any]],
+    path: str,
+    field_names: Sequence[str] = None,
+) -> int:
+    """Write a sequence of flat mappings to CSV; returns rows written."""
+    rows = list(rows)
+    if field_names is None:
+        field_names = []
+        seen = set()
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    field_names.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(field_names))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in field_names})
+    return len(rows)

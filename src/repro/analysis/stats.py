@@ -1,0 +1,77 @@
+"""Summary statistics and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+# Two-sided critical values of the standard normal for common levels.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std/mean; 0 for a zero-mean sample)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def summarize(values: ArrayLike) -> Summary:
+    """Compute a :class:`Summary` of a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def confidence_interval(
+    values: ArrayLike, level: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the sample mean."""
+    if level not in _Z_VALUES:
+        raise ValueError(f"supported levels: {sorted(_Z_VALUES)}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute an interval of an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return (mean, mean)
+    half = _Z_VALUES[level] * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return (mean - half, mean + half)
+
+
+def jains_fairness_index(values: ArrayLike) -> float:
+    """Jain's fairness index of per-flow allocations, in (0, 1].
+
+    1.0 means a perfectly equal share -- the property Figures 10-12 show
+    Vegas achieving and Reno failing.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute fairness of an empty sample")
+    denominator = arr.size * float((arr**2).sum())
+    if denominator == 0:
+        return 1.0
+    return float(arr.sum()) ** 2 / denominator

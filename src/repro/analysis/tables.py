@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Numbers are right-aligned and formatted to ``precision`` decimals;
+    everything else is left-aligned.
+    """
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in formatted:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in formatted)) if formatted else len(headers[c])
+        for c in range(columns)
+    ]
+    numeric = [
+        bool(rows) and all(isinstance(row[c], (int, float)) for row in rows)
+        for c in range(columns)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""The paper's analytical core: traffic burstiness and TCP modulation.
+
+* :mod:`repro.core.cov` -- the coefficient-of-variation measure of
+  Section 2.2 (std/mean of per-RTT packet counts at the gateway).
+* :mod:`repro.core.theory` -- closed-form baselines: the c.o.v. of
+  aggregated Poisson traffic and Central-Limit-Theorem smoothing.
+* :mod:`repro.core.burstiness` -- complementary burstiness measures
+  (index of dispersion, peak-to-mean, multi-scale profiles).
+* :mod:`repro.core.selfsimilar` -- Hurst-parameter estimators used by
+  the literature the paper critiques (R/S, variance-time plots).
+* :mod:`repro.core.modulation` -- the paper's headline comparison:
+  offered vs TCP-modulated aggregate statistics.
+* :mod:`repro.core.fluid` -- deterministic Reno/Vegas approximations
+  used as analytic cross-checks of simulator steady state.
+"""
+
+from repro.core.burstiness import (
+    BurstinessProfile,
+    index_of_dispersion,
+    multiscale_cov,
+    peak_to_mean,
+)
+from repro.core.cov import bin_counts, coefficient_of_variation, cov_from_times
+from repro.core.dependence import (
+    DependenceReport,
+    autocorrelation,
+    bin_flow_times,
+    dependence_report,
+    mean_pairwise_correlation,
+    pairwise_correlations,
+)
+from repro.core.modulation import ModulationReport, modulation_report
+from repro.core.selfsimilar import (
+    hurst_aggregate_variance,
+    hurst_rescaled_range,
+    variance_time_plot,
+)
+from repro.core.theory import (
+    clt_smoothing_factor,
+    expected_bin_mean,
+    poisson_aggregate_cov,
+    poisson_cov_curve,
+)
+from repro.core.fluid import (
+    reno_fluid_throughput,
+    reno_sawtooth_cov,
+    vegas_equilibrium_window,
+)
+
+__all__ = [
+    "BurstinessProfile",
+    "DependenceReport",
+    "ModulationReport",
+    "autocorrelation",
+    "bin_flow_times",
+    "dependence_report",
+    "mean_pairwise_correlation",
+    "pairwise_correlations",
+    "bin_counts",
+    "clt_smoothing_factor",
+    "coefficient_of_variation",
+    "cov_from_times",
+    "expected_bin_mean",
+    "hurst_aggregate_variance",
+    "hurst_rescaled_range",
+    "index_of_dispersion",
+    "modulation_report",
+    "multiscale_cov",
+    "peak_to_mean",
+    "poisson_aggregate_cov",
+    "poisson_cov_curve",
+    "reno_fluid_throughput",
+    "reno_sawtooth_cov",
+    "variance_time_plot",
+    "vegas_equilibrium_window",
+]

@@ -1,0 +1,117 @@
+"""Complementary burstiness measures.
+
+The paper argues the c.o.v. at the RTT timescale is the right measure
+for statistical-multiplexing effectiveness; these companions quantify
+the same counts differently and across timescales, supporting that
+argument:
+
+* index of dispersion for counts (IDC): var/mean -- equals 1 for
+  Poisson at every timescale, grows with timescale for LRD traffic;
+* peak-to-mean ratio: the classic provisioning headroom number;
+* multi-scale c.o.v. profile: the c.o.v. recomputed over dyadic
+  aggregations of the base bins, the "does it smooth out when you zoom
+  out?" question underlying self-similarity claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.cov import coefficient_of_variation
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def index_of_dispersion(counts: ArrayLike, ddof: int = 0) -> float:
+    """Variance-to-mean ratio of counts (1.0 for a Poisson sample)."""
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        return float("nan")
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.var(ddof=ddof) / mean)
+
+
+def peak_to_mean(counts: ArrayLike) -> float:
+    """max/mean of counts (provisioning headroom)."""
+    counts = np.asarray(counts, dtype=float)
+    if counts.size == 0:
+        return float("nan")
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.max() / mean)
+
+
+def aggregate_counts(counts: ArrayLike, factor: int) -> np.ndarray:
+    """Sum adjacent groups of ``factor`` bins (coarser timescale)."""
+    if factor < 1:
+        raise ValueError("aggregation factor must be >= 1")
+    counts = np.asarray(counts, dtype=float)
+    n_groups = counts.size // factor
+    if n_groups == 0:
+        return np.zeros(0)
+    return counts[: n_groups * factor].reshape(n_groups, factor).sum(axis=1)
+
+
+def multiscale_cov(
+    counts: ArrayLike, factors: Sequence[int] = (1, 2, 4, 8, 16, 32)
+) -> Dict[int, float]:
+    """c.o.v. at several dyadic aggregations of the base timescale.
+
+    For i.i.d. counts the c.o.v. at factor ``m`` falls like
+    ``1/sqrt(m)``; slower decay is the signature of burstiness that
+    persists across timescales (self-similarity).
+    """
+    result: Dict[int, float] = {}
+    for factor in factors:
+        aggregated = aggregate_counts(counts, factor)
+        if aggregated.size >= 2:
+            result[factor] = coefficient_of_variation(aggregated)
+    return result
+
+
+@dataclass
+class BurstinessProfile:
+    """All burstiness measures of one count series, in one place."""
+
+    cov: float
+    idc: float
+    peak_to_mean: float
+    mean: float
+    std: float
+    multiscale: Dict[int, float]
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: ArrayLike,
+        factors: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    ) -> "BurstinessProfile":
+        """Compute the full profile of a count series."""
+        arr = np.asarray(counts, dtype=float)
+        return cls(
+            cov=coefficient_of_variation(arr),
+            idc=index_of_dispersion(arr),
+            peak_to_mean=peak_to_mean(arr),
+            mean=float(arr.mean()) if arr.size else float("nan"),
+            std=float(arr.std()) if arr.size else float("nan"),
+            multiscale=multiscale_cov(arr, factors),
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines: List[str] = [
+            f"mean={self.mean:.3f} pkts/bin  std={self.std:.3f}",
+            f"c.o.v.={self.cov:.4f}  IDC={self.idc:.3f}  peak/mean={self.peak_to_mean:.2f}",
+        ]
+        if self.multiscale:
+            scales = "  ".join(
+                f"m={m}:{c:.4f}" for m, c in sorted(self.multiscale.items())
+            )
+            lines.append(f"multi-scale c.o.v.: {scales}")
+        return "\n".join(lines)

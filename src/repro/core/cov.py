@@ -1,0 +1,76 @@
+"""The coefficient of variation (c.o.v.) of binned packet counts.
+
+The paper's burstiness measure (Section 2.2): the ratio of the standard
+deviation to the mean of the number of packets arriving at the gateway
+in each round-trip propagation delay.  A small c.o.v. means arrivals
+concentrate around the mean and statistical multiplexing works well; a
+large c.o.v. means bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray, Iterable[float]]
+
+
+def bin_counts(
+    times: ArrayLike,
+    bin_width: float,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+) -> np.ndarray:
+    """Count events per fixed-width bin over ``[t_start, t_end)``.
+
+    Events outside the window are discarded.  Trailing empty bins up to
+    ``t_end`` are included (an interval with no arrivals is still an
+    observation of the arrival process).
+    """
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    times = np.asarray(list(times) if not isinstance(times, np.ndarray) else times)
+    if t_end is None:
+        t_end = float(times.max()) + bin_width if times.size else t_start
+    if t_end < t_start:
+        raise ValueError("t_end must not precede t_start")
+    n_bins = int((t_end - t_start) / bin_width)
+    if n_bins <= 0:
+        return np.zeros(0)
+    window_end = t_start + n_bins * bin_width
+    in_window = times[(times >= t_start) & (times < window_end)]
+    indices = ((in_window - t_start) / bin_width).astype(int)
+    return np.bincount(indices, minlength=n_bins).astype(float)
+
+
+def coefficient_of_variation(counts: ArrayLike, ddof: int = 0) -> float:
+    """std/mean of a sample of counts.
+
+    Returns ``nan`` for empty input and ``inf`` when the mean is zero
+    but the sample is not (which cannot happen for counts) -- for an
+    all-zero sample the c.o.v. is defined as 0 (a perfectly smooth,
+    perfectly idle link).
+    """
+    counts = np.asarray(
+        list(counts) if not isinstance(counts, np.ndarray) else counts, dtype=float
+    )
+    if counts.size == 0:
+        return float("nan")
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.std(ddof=ddof) / mean)
+
+
+def cov_from_times(
+    times: ArrayLike,
+    bin_width: float,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+    ddof: int = 0,
+) -> float:
+    """c.o.v. of per-bin counts computed directly from event times."""
+    return coefficient_of_variation(
+        bin_counts(times, bin_width, t_start, t_end), ddof=ddof
+    )

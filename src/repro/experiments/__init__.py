@@ -1,0 +1,52 @@
+"""The experiment harness: the paper's simulation study, runnable.
+
+* :mod:`repro.experiments.config` -- scenario configuration with the
+  reconstructed Table 1 defaults.
+* :mod:`repro.experiments.scenario` -- builds and runs one client/server
+  simulation and extracts every metric the paper reports.
+* :mod:`repro.experiments.sweep` -- runs grids of scenarios, optionally
+  across processes.
+* :mod:`repro.experiments.figures` -- one function per paper figure.
+* :mod:`repro.experiments.results` -- flat result records and rendering.
+* :mod:`repro.experiments.cli` -- the ``repro-tcp`` command-line tool.
+"""
+
+from repro.experiments.config import (
+    PROTOCOLS,
+    QUEUES,
+    ScenarioConfig,
+    paper_config,
+)
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import Scenario, ScenarioResult, run_scenario
+from repro.experiments.sweep import run_many
+from repro.experiments.figures import (
+    FIGURE2_PROTOCOLS,
+    FigureData,
+    cwnd_trace_experiment,
+    figure2_cov,
+    figure3_throughput,
+    figure4_loss,
+    figure13_timeout_ratio,
+    run_protocol_sweep,
+)
+
+__all__ = [
+    "FIGURE2_PROTOCOLS",
+    "FigureData",
+    "PROTOCOLS",
+    "QUEUES",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioMetrics",
+    "ScenarioResult",
+    "cwnd_trace_experiment",
+    "figure2_cov",
+    "figure3_throughput",
+    "figure4_loss",
+    "figure13_timeout_ratio",
+    "paper_config",
+    "run_many",
+    "run_protocol_sweep",
+    "run_scenario",
+]

@@ -1,0 +1,321 @@
+"""The ``repro-tcp`` command-line tool.
+
+Subcommands regenerate each paper artifact from the terminal::
+
+    repro-tcp table1
+    repro-tcp run --protocol reno --queue red --clients 40
+    repro-tcp fig2 --clients 4:60:8 --duration 50
+    repro-tcp fig3 / fig4 / fig13
+    repro-tcp cwnd --protocol vegas --clients 30
+
+Sweeps accept ``--csv PATH`` / ``--json PATH`` to persist results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.io import results_to_csv, results_to_json
+from repro.analysis.asciiplot import ascii_step_plot
+from repro.analysis.tables import format_table
+from repro.experiments.config import paper_config, table1_rows
+from repro.experiments.figures import (
+    FIGURE2_PROTOCOLS,
+    FigureData,
+    cwnd_trace_experiment,
+    figure2_cov,
+    figure3_throughput,
+    figure4_loss,
+    figure13_timeout_ratio,
+    run_protocol_sweep,
+)
+from repro.experiments.replication import replicate
+from repro.experiments.results import ScenarioMetrics, metrics_table
+from repro.experiments.scenario import run_scenario
+
+
+def parse_range(spec: str) -> List[int]:
+    """Parse 'start:stop:step' (inclusive) or a comma list into ints."""
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise argparse.ArgumentTypeError("ranges look like start:stop[:step]")
+        start, stop = int(parts[0]), int(parts[1])
+        step = int(parts[2]) if len(parts) == 3 else 1
+        if step <= 0 or stop < start:
+            raise argparse.ArgumentTypeError("need start <= stop and step > 0")
+        return list(range(start, stop + 1, step))
+    return [int(part) for part in spec.split(",") if part]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=None, help="run length, s")
+    parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument("--processes", type=int, default=None, help="worker count")
+    parser.add_argument("--csv", default=None, help="write results to CSV")
+    parser.add_argument("--json", default=None, help="write results to JSON")
+
+
+def _base_config(args: argparse.Namespace):
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return paper_config(**overrides)
+
+
+def _emit_figure(figure: FigureData, args: argparse.Namespace) -> None:
+    print(figure.render_plot())
+    print()
+    print(figure.render_table())
+    if args.csv:
+        results_to_csv(figure.to_rows(), args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        results_to_json(figure.series, args.json)
+        print(f"\nwrote {args.json}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ["Parameter", "Value"],
+            table1_rows(),
+            title="Table 1: Simulation Parameters (reconstructed; see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _base_config(args).with_(
+        protocol=args.protocol, queue=args.queue, n_clients=args.clients
+    )
+    result = run_scenario(config)
+    metrics = ScenarioMetrics.from_result(result)
+    print(metrics_table([metrics], title=f"Scenario: {config.label}, {config.n_clients} clients"))
+    if result.modulation is not None:
+        print()
+        print(result.modulation.describe())
+    if args.json:
+        results_to_json(metrics.as_dict(), args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        results_to_csv([metrics.as_dict()], args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_sweep_figure(args: argparse.Namespace) -> int:
+    base = _base_config(args)
+    sweep = run_protocol_sweep(
+        args.clients, base=base, processes=args.processes
+    )
+    builders = {
+        "fig2": lambda: figure2_cov(sweep, base),
+        "fig3": lambda: figure3_throughput(sweep),
+        "fig4": lambda: figure4_loss(sweep),
+        "fig13": lambda: figure13_timeout_ratio(sweep),
+    }
+    _emit_figure(builders[args.command](), args)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    """Regenerate every sweep-derived paper artifact into a directory."""
+    import os
+
+    os.makedirs(args.outdir, exist_ok=True)
+    base = _base_config(args)
+
+    with open(os.path.join(args.outdir, "table1.txt"), "w") as handle:
+        handle.write(
+            format_table(
+                ["Parameter", "Value"],
+                table1_rows(),
+                title="Table 1: Simulation Parameters (reconstructed)",
+            )
+            + "\n"
+        )
+
+    print(f"running the protocol sweep over clients={args.clients} ...")
+    sweep = run_protocol_sweep(args.clients, base=base, processes=args.processes)
+    figures = {
+        "fig02_cov": figure2_cov(sweep, base),
+        "fig03_throughput": figure3_throughput(sweep),
+        "fig04_loss": figure4_loss(sweep),
+        "fig13_timeout_ratio": figure13_timeout_ratio(sweep),
+    }
+    for name, figure in figures.items():
+        results_to_csv(figure.to_rows(), os.path.join(args.outdir, f"{name}.csv"))
+        with open(os.path.join(args.outdir, f"{name}.txt"), "w") as handle:
+            handle.write(figure.render_plot() + "\n\n" + figure.render_table() + "\n")
+        print(f"wrote {name}.csv / {name}.txt")
+    all_metrics = [m.as_dict() for metrics in sweep.values() for m in metrics]
+    results_to_csv(all_metrics, os.path.join(args.outdir, "sweep_metrics.csv"))
+    print(f"wrote sweep_metrics.csv ({len(all_metrics)} rows) to {args.outdir}")
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    config = _base_config(args).with_(
+        protocol=args.protocol, queue=args.queue, n_clients=args.clients
+    )
+    result = replicate(
+        config,
+        n_replicas=args.replicas,
+        base_seed=args.seed if args.seed is not None else 1,
+        processes=args.processes,
+    )
+    print(result.render_table())
+    if args.json:
+        results_to_json(
+            {name: s.values for name, s in result.summaries.items()}, args.json
+        )
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        results_to_csv([m.as_dict() for m in result.replicas], args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_dependence(args: argparse.Namespace) -> int:
+    config = _base_config(args).with_(
+        protocol=args.protocol,
+        queue=args.queue,
+        n_clients=args.clients,
+        record_flow_arrivals=True,
+    )
+    result = run_scenario(config)
+    report = result.dependence()
+    print(
+        f"{config.label}, {config.n_clients} clients, {config.duration:g}s:"
+    )
+    if report is None:
+        print("(not enough flows with traffic to analyze)")
+        return 1
+    print(report.describe())
+    print(f"aggregate c.o.v. = {result.cov:.4f} "
+          f"(analytic Poisson {result.analytic_cov:.4f})")
+    if args.json:
+        results_to_json(report, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_cwnd(args: argparse.Namespace) -> int:
+    base = _base_config(args)
+    result = cwnd_trace_experiment(
+        args.protocol,
+        args.clients,
+        base=base,
+        queue=args.queue,
+    )
+    for flow_id, trace in sorted(result.cwnd_traces.items()):
+        print(
+            ascii_step_plot(
+                trace,
+                t_start=0.0,
+                t_end=result.config.duration,
+                title=(
+                    f"cwnd of client {flow_id} "
+                    f"({result.config.label}, {args.clients} clients)"
+                ),
+            )
+        )
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tcp",
+        description="Reproduce the ICDCS 2000 TCP-burstiness experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 parameters")
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("--protocol", default="reno")
+    run_parser.add_argument("--queue", default="fifo")
+    run_parser.add_argument("--clients", type=int, default=20)
+    _add_common(run_parser)
+
+    for name, help_text in [
+        ("fig2", "c.o.v. vs clients (Figure 2)"),
+        ("fig3", "throughput vs clients (Figure 3)"),
+        ("fig4", "loss percentage vs clients (Figure 4)"),
+        ("fig13", "timeout/dupACK ratio vs clients (Figure 13)"),
+    ]:
+        figure_parser = sub.add_parser(name, help=help_text)
+        figure_parser.add_argument(
+            "--clients",
+            type=parse_range,
+            default=list(range(4, 61, 8)),
+            help="client counts, as start:stop:step or a comma list",
+        )
+        _add_common(figure_parser)
+
+    cwnd_parser = sub.add_parser("cwnd", help="congestion-window traces (Figures 5-12)")
+    cwnd_parser.add_argument("--protocol", default="reno")
+    cwnd_parser.add_argument("--queue", default="fifo")
+    cwnd_parser.add_argument("--clients", type=int, default=20)
+    _add_common(cwnd_parser)
+
+    all_parser = sub.add_parser(
+        "all", help="regenerate Table 1 and Figures 2/3/4/13 into a directory"
+    )
+    all_parser.add_argument("--outdir", default="results")
+    all_parser.add_argument(
+        "--clients",
+        type=parse_range,
+        default=list(range(4, 61, 8)),
+        help="client counts, as start:stop:step or a comma list",
+    )
+    _add_common(all_parser)
+
+    replicate_parser = sub.add_parser(
+        "replicate", help="run one scenario under several seeds (mean +/- CI)"
+    )
+    replicate_parser.add_argument("--protocol", default="reno")
+    replicate_parser.add_argument("--queue", default="fifo")
+    replicate_parser.add_argument("--clients", type=int, default=40)
+    replicate_parser.add_argument("--replicas", type=int, default=5)
+    _add_common(replicate_parser)
+
+    dependence_parser = sub.add_parser(
+        "dependence", help="cross-stream dependence diagnostics at the gateway"
+    )
+    dependence_parser.add_argument("--protocol", default="reno")
+    dependence_parser.add_argument("--queue", default="fifo")
+    dependence_parser.add_argument("--clients", type=int, default=40)
+    _add_common(dependence_parser)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "run": _cmd_run,
+        "fig2": _cmd_sweep_figure,
+        "fig3": _cmd_sweep_figure,
+        "fig4": _cmd_sweep_figure,
+        "fig13": _cmd_sweep_figure,
+        "cwnd": _cmd_cwnd,
+        "all": _cmd_all,
+        "replicate": _cmd_replicate,
+        "dependence": _cmd_dependence,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

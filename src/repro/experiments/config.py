@@ -1,0 +1,210 @@
+"""Scenario configuration: the paper's Table 1, reconstructed.
+
+The OCR of the paper drops the digits '0' and '5'; DESIGN.md section 3
+documents how each value below was recovered from the surviving digits
+and the prose constraints (congestion knee between 38 and 39 clients,
+gateway buffer overrun by three 17-packet bursts, RED ``max_th``
+saturated by 40 Vegas streams, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+# Transport protocol configurations the paper sweeps (Figure 2's legend).
+PROTOCOLS = (
+    "udp",
+    "tahoe",
+    "reno",
+    "reno_delack",
+    "newreno",
+    "sack",
+    "vegas",
+    "reno_ecn",
+)
+
+# Gateway queueing disciplines.
+QUEUES = ("fifo", "red", "ared", "drr")
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to build and run one simulation."""
+
+    # Experiment identity.
+    protocol: str = "reno"
+    queue: str = "fifo"
+    n_clients: int = 20
+    duration: float = 200.0  # Table 1: total test time
+    warmup: float = 0.0  # measurement start (0 = measure from t=0, as the paper)
+    seed: int = 1
+
+    # Topology (Table 1).
+    client_rate_bps: float = 10e6  # mu_c = 10 Mbps
+    client_delay: float = 0.002  # tau_c = 2 ms
+    bottleneck_rate_bps: float = 3e6  # mu_s (reconstructed; see DESIGN.md)
+    bottleneck_delay: float = 0.200  # tau_s = 200 ms (reconstructed; see DESIGN.md)
+    buffer_capacity: int = 50  # B = 50 packets
+
+    # Workload (Table 1).
+    packet_size: int = 1000  # bytes
+    mean_gap: float = 0.1  # mean packet inter-generation time, seconds
+    # Traffic model: "poisson" (the paper), "cbr", or "pareto_onoff"
+    # (the heavy-tailed workload of the self-similarity literature).
+    traffic: str = "poisson"
+    # Pareto on/off knobs (used only when traffic == "pareto_onoff");
+    # defaults keep the long-run mean rate equal to the Poisson rate:
+    # duty cycle mean_on/(mean_on+mean_off) = 0.1 at 100 pkt/s peak.
+    onoff_peak_gap: float = 0.01
+    onoff_mean_on: float = 0.5
+    onoff_mean_off: float = 4.5
+    onoff_shape: float = 1.5
+
+    # TCP (Table 1 + standard knobs).
+    advertised_window: int = 20  # max advertised window, packets
+    ack_delay: float = 0.1  # delayed-ACK timer for the DelAck variant
+    # BSD/ns-2-era coarse retransmission timers (500 ms granularity,
+    # 1 s floor): the timeout droughts and synchronized slow-start
+    # restarts they produce are part of the burstiness the paper measures.
+    min_rto: float = 1.0
+    initial_rto: float = 3.0
+    tcp_tick: float = 0.5
+
+    # TCP pacing extension (not in the paper; see the pacing ablation).
+    pacing: bool = False
+
+    # TCP Vegas thresholds (Table 1: 1 / 3 / 1).
+    vegas_alpha: float = 1.0
+    vegas_beta: float = 3.0
+    vegas_gamma: float = 1.0
+
+    # RED gateway (Table 1: min_th 10, max_th 40).
+    red_min_th: float = 10.0
+    red_max_th: float = 40.0
+    red_max_p: float = 0.1
+    red_weight: float = 0.002
+    red_gentle: bool = False
+
+    # DRR fair-queueing gateway (extension; quantum in bytes).
+    drr_quantum: int = 1000
+
+    # Measurement and tracing.
+    bin_width: Optional[float] = None  # None = the round-trip propagation delay
+    trace_cwnd_flows: Tuple[int, ...] = ()  # flow ids whose cwnd to log
+    record_offered: bool = True  # record application generation times
+    record_flow_arrivals: bool = False  # per-flow gateway arrival times
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def rtt_prop(self) -> float:
+        """Round-trip propagation delay (the paper's c.o.v. bin width)."""
+        return 2.0 * (self.client_delay + self.bottleneck_delay)
+
+    @property
+    def effective_bin_width(self) -> float:
+        """The c.o.v. binning window actually used."""
+        return self.bin_width if self.bin_width is not None else self.rtt_prop
+
+    @property
+    def per_client_rate(self) -> float:
+        """Offered rate per client, packets/second."""
+        return 1.0 / self.mean_gap
+
+    @property
+    def offered_load_bps(self) -> float:
+        """Aggregate offered load in bits/second."""
+        return self.n_clients * self.per_client_rate * self.packet_size * 8.0
+
+    @property
+    def bottleneck_capacity_pps(self) -> float:
+        """Bottleneck service rate in packets/second."""
+        return self.bottleneck_rate_bps / (self.packet_size * 8.0)
+
+    @property
+    def congestion_knee_clients(self) -> float:
+        """Client count at which offered load equals bottleneck capacity."""
+        return self.bottleneck_capacity_pps / self.per_client_rate
+
+    @property
+    def label(self) -> str:
+        """Human-readable protocol/queue label (Figure 2 legend style)."""
+        names = {
+            "udp": "UDP",
+            "tahoe": "Tahoe",
+            "reno": "Reno",
+            "reno_delack": "Reno/DelayAck",
+            "newreno": "NewReno",
+            "sack": "SACK",
+            "vegas": "Vegas",
+            "reno_ecn": "Reno/ECN",
+        }
+        base = names.get(self.protocol, self.protocol)
+        if self.pacing:
+            base = f"{base}/Paced"
+        if self.queue == "red":
+            return f"{base}/RED"
+        if self.queue == "ared":
+            return f"{base}/ARED"
+        if self.queue == "drr":
+            return f"{base}/DRR"
+        return base
+
+    # ------------------------------------------------------------------
+    # Validation and variation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ValueError on unknown protocol/queue or bad numbers."""
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.queue not in QUEUES:
+            raise ValueError(f"unknown queue {self.queue!r}; choose from {QUEUES}")
+        if self.n_clients < 1:
+            raise ValueError("need at least one client")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must lie inside [0, duration)")
+        if self.mean_gap <= 0 or self.packet_size <= 0:
+            raise ValueError("workload parameters must be positive")
+        if self.traffic not in ("poisson", "cbr", "pareto_onoff"):
+            raise ValueError(f"unknown traffic model {self.traffic!r}")
+        if self.protocol == "reno_ecn" and self.queue == "fifo":
+            raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")
+
+    def with_(self, **overrides) -> "ScenarioConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+def paper_config(**overrides) -> ScenarioConfig:
+    """The reconstructed Table 1 configuration, with overrides."""
+    return ScenarioConfig().with_(**overrides)
+
+
+def table1_rows() -> List[Tuple[str, str]]:
+    """The Table 1 parameter listing as (parameter, value) rows."""
+    config = ScenarioConfig()
+    return [
+        ("client link bandwidth (mu_c)", f"{config.client_rate_bps / 1e6:g} Mbps"),
+        ("client link delay (tau_c)", f"{config.client_delay * 1e3:g} ms"),
+        (
+            "bottleneck link bandwidth (mu_s)",
+            f"{config.bottleneck_rate_bps / 1e6:g} Mbps",
+        ),
+        ("bottleneck link delay (tau_s)", f"{config.bottleneck_delay * 1e3:g} ms"),
+        ("TCP max advertised window", f"{config.advertised_window} packets"),
+        ("gateway buffer size (B)", f"{config.buffer_capacity} packets"),
+        ("packet size", f"{config.packet_size} bytes"),
+        ("average packet intergeneration time (1/lambda)", f"{config.mean_gap:g} s"),
+        ("total test time", f"{config.duration:g} s"),
+        ("TCP Vegas alpha", f"{config.vegas_alpha:g}"),
+        ("TCP Vegas beta", f"{config.vegas_beta:g}"),
+        ("TCP Vegas gamma", f"{config.vegas_gamma:g}"),
+        ("RED min_th", f"{config.red_min_th:g} packets"),
+        ("RED max_th", f"{config.red_max_th:g} packets"),
+    ]

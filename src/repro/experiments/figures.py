@@ -1,0 +1,239 @@
+"""One function per paper figure.
+
+Figures 2-4 and 13 all derive from the same protocol-by-client-count
+sweep, so :func:`run_protocol_sweep` runs the grid once and each figure
+function slices it.  Figures 5-12 are congestion-window traces from
+single runs with tracing enabled (:func:`cwnd_trace_experiment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.asciiplot import ascii_series_plot
+from repro.analysis.tables import format_table
+from repro.core.theory import poisson_aggregate_cov
+from repro.experiments.config import ScenarioConfig, paper_config
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import ScenarioResult, run_scenario
+from repro.experiments.sweep import run_many
+
+# The protocol/queue combinations in Figure 2's legend, in legend order.
+FIGURE2_PROTOCOLS: Dict[str, Tuple[str, str]] = {
+    "udp": ("udp", "fifo"),
+    "reno": ("reno", "fifo"),
+    "reno_red": ("reno", "red"),
+    "vegas": ("vegas", "fifo"),
+    "vegas_red": ("vegas", "red"),
+    "reno_delack": ("reno_delack", "fifo"),
+}
+
+# Figures 3, 4 and 13 start their x-axis at 30 clients ("the different
+# TCP implementations exhibit nearly identical behavior for less than 30
+# clients") and omit UDP.
+TCP_ONLY_PROTOCOLS = tuple(k for k in FIGURE2_PROTOCOLS if k != "udp")
+
+# The client counts of the paper's congestion-window snapshots.
+RENO_CWND_CLIENT_COUNTS = (20, 30, 38, 39, 60)  # Figures 5-9
+VEGAS_CWND_CLIENT_COUNTS = (20, 30, 60)  # Figures 10-12
+
+
+@dataclass
+class FigureData:
+    """A regenerated figure: named series plus rendering helpers."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, Tuple[List[float], List[float]]] = field(default_factory=dict)
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add one named (x, y) series."""
+        self.series[name] = (list(xs), list(ys))
+
+    def render_plot(self, width: int = 72, height: int = 20) -> str:
+        """ASCII chart of all series."""
+        return ascii_series_plot(
+            self.series,
+            width=width,
+            height=height,
+            title=f"{self.figure_id}: {self.title}",
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+
+    def render_table(self, precision: int = 4) -> str:
+        """Aligned text table: one row per x, one column per series."""
+        xs = sorted({x for xs_ys in self.series.values() for x in xs_ys[0]})
+        headers = [self.xlabel] + list(self.series)
+        rows: List[List[object]] = []
+        for x in xs:
+            row: List[object] = [x]
+            for name in self.series:
+                series_x, series_y = self.series[name]
+                row.append(
+                    series_y[series_x.index(x)] if x in series_x else float("nan")
+                )
+            rows.append(row)
+        return format_table(
+            headers, rows, precision=precision, title=f"{self.figure_id}: {self.title}"
+        )
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Long-format rows (series, x, y) for CSV export."""
+        rows: List[Dict[str, object]] = []
+        for name, (xs, ys) in self.series.items():
+            for x, y in zip(xs, ys):
+                rows.append({"series": name, self.xlabel: x, self.ylabel: y})
+        return rows
+
+
+SweepData = Dict[str, List[ScenarioMetrics]]
+
+
+def run_protocol_sweep(
+    client_counts: Sequence[int],
+    base: Optional[ScenarioConfig] = None,
+    protocols: Mapping[str, Tuple[str, str]] = FIGURE2_PROTOCOLS,
+    processes: Optional[int] = None,
+) -> SweepData:
+    """Run the (protocol x client-count) grid behind Figures 2-4 and 13."""
+    base = base or paper_config()
+    keys: List[str] = []
+    configs: List[ScenarioConfig] = []
+    for key, (protocol, queue) in protocols.items():
+        for n in client_counts:
+            keys.append(key)
+            configs.append(base.with_(protocol=protocol, queue=queue, n_clients=n))
+    metrics = run_many(configs, processes=processes)
+    sweep: SweepData = {key: [] for key in protocols}
+    for key, metric in zip(keys, metrics):
+        sweep[key].append(metric)
+    for key in sweep:
+        sweep[key].sort(key=lambda m: m.n_clients)
+    return sweep
+
+
+def _series_from_sweep(
+    sweep: SweepData, attribute: str, keys: Optional[Sequence[str]] = None
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    series: Dict[str, Tuple[List[float], List[float]]] = {}
+    for key in keys if keys is not None else sweep:
+        metrics = sweep[key]
+        if not metrics:
+            continue
+        label = metrics[0].label
+        xs = [float(m.n_clients) for m in metrics]
+        ys = [float(getattr(m, attribute)) for m in metrics]
+        series[label] = (xs, ys)
+    return series
+
+
+def figure2_cov(
+    sweep: SweepData, base: Optional[ScenarioConfig] = None
+) -> FigureData:
+    """Figure 2: c.o.v. of the aggregated traffic vs number of clients."""
+    base = base or paper_config()
+    figure = FigureData(
+        figure_id="Figure 2",
+        title="Coefficient of Variation of the Aggregated TCP Traffic",
+        xlabel="number of clients",
+        ylabel="coefficient of variation",
+    )
+    client_counts = sorted(
+        {m.n_clients for metrics in sweep.values() for m in metrics}
+    )
+    figure.add_series(
+        "Poisson",
+        [float(n) for n in client_counts],
+        [
+            poisson_aggregate_cov(n, base.per_client_rate, base.effective_bin_width)
+            for n in client_counts
+        ],
+    )
+    for label, xy in _series_from_sweep(sweep, "cov").items():
+        figure.add_series(label, *xy)
+    return figure
+
+
+def figure3_throughput(sweep: SweepData, min_clients: int = 30) -> FigureData:
+    """Figure 3: total packets successfully transmitted vs clients."""
+    figure = FigureData(
+        figure_id="Figure 3",
+        title="Throughput of the Aggregated TCP Traffic",
+        xlabel="number of clients",
+        ylabel="total packets successfully transmitted",
+    )
+    for label, (xs, ys) in _series_from_sweep(
+        sweep, "throughput_packets", keys=[k for k in TCP_ONLY_PROTOCOLS if k in sweep]
+    ).items():
+        kept = [(x, y) for x, y in zip(xs, ys) if x >= min_clients]
+        if kept:
+            figure.add_series(label, [x for x, _ in kept], [y for _, y in kept])
+    return figure
+
+
+def figure4_loss(sweep: SweepData, min_clients: int = 30) -> FigureData:
+    """Figure 4: packet loss percentage vs clients."""
+    figure = FigureData(
+        figure_id="Figure 4",
+        title="Packet Loss Percentage of the Aggregated TCP Traffic",
+        xlabel="number of clients",
+        ylabel="packet loss percentage (%)",
+    )
+    for label, (xs, ys) in _series_from_sweep(
+        sweep, "loss_percent", keys=[k for k in TCP_ONLY_PROTOCOLS if k in sweep]
+    ).items():
+        kept = [(x, y) for x, y in zip(xs, ys) if x >= min_clients]
+        if kept:
+            figure.add_series(label, [x for x, _ in kept], [y for _, y in kept])
+    return figure
+
+
+def figure13_timeout_ratio(sweep: SweepData, min_clients: int = 30) -> FigureData:
+    """Figure 13: ratio of timeouts to duplicate ACKs vs clients."""
+    figure = FigureData(
+        figure_id="Figure 13",
+        title="Ratio of Timeouts to Duplicate ACKs",
+        xlabel="number of clients",
+        ylabel="timeout/duplicate-ACK ratio",
+    )
+    for label, (xs, ys) in _series_from_sweep(
+        sweep,
+        "timeout_dupack_ratio",
+        keys=[k for k in TCP_ONLY_PROTOCOLS if k in sweep],
+    ).items():
+        kept = [(x, y) for x, y in zip(xs, ys) if x >= min_clients]
+        if kept:
+            figure.add_series(label, [x for x, _ in kept], [y for _, y in kept])
+    return figure
+
+
+def cwnd_trace_experiment(
+    protocol: str,
+    n_clients: int,
+    flows: Optional[Sequence[int]] = None,
+    base: Optional[ScenarioConfig] = None,
+    queue: str = "fifo",
+    duration: Optional[float] = None,
+) -> ScenarioResult:
+    """One run with congestion-window tracing (Figures 5-12).
+
+    The paper traces three spread-out client streams per snapshot
+    (e.g. clients 1, 10 and 20 of 20); by default we trace the first,
+    middle and last flow.
+    """
+    base = base or paper_config()
+    if flows is None:
+        flows = sorted({0, n_clients // 2, n_clients - 1})
+    config = base.with_(
+        protocol=protocol,
+        queue=queue,
+        n_clients=n_clients,
+        trace_cwnd_flows=tuple(flows),
+    )
+    if duration is not None:
+        config = config.with_(duration=duration)
+    return run_scenario(config)

@@ -1,0 +1,108 @@
+"""Flat, picklable result records for sweeps, plus rendering helpers.
+
+:class:`ScenarioResult` carries arrays and traces; sweeps over dozens of
+runs keep only :class:`ScenarioMetrics`, a flat summary that pickles
+cheaply across worker processes and serializes to CSV/JSON directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.stats import jains_fairness_index
+from repro.analysis.tables import format_table
+from repro.experiments.scenario import ScenarioResult
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """One sweep point: the numbers the paper's figures plot."""
+
+    protocol: str
+    queue: str
+    label: str
+    n_clients: int
+    seed: int
+    duration: float
+    cov: float
+    offered_cov: float
+    analytic_cov: float
+    throughput_packets: int
+    throughput_pps: float
+    utilization: float
+    loss_percent: float
+    gateway_arrivals: int
+    gateway_drops: int
+    timeouts: int
+    fast_retransmits: int
+    dupacks: int
+    timeout_dupack_ratio: float
+    timeout_fastrtx_ratio: float
+    mean_queue_length: float
+    red_marks: int
+    fairness: float
+    mean_latency: float
+    max_latency: float
+
+    @classmethod
+    def from_result(cls, result: ScenarioResult) -> "ScenarioMetrics":
+        """Flatten a full :class:`ScenarioResult`."""
+        config = result.config
+        delivered = result.delivered_per_flow
+        fairness = (
+            jains_fairness_index(delivered) if delivered.size else float("nan")
+        )
+        return cls(
+            protocol=config.protocol,
+            queue=config.queue,
+            label=config.label,
+            n_clients=config.n_clients,
+            seed=config.seed,
+            duration=config.duration,
+            cov=result.cov,
+            offered_cov=result.offered_cov,
+            analytic_cov=result.analytic_cov,
+            throughput_packets=result.throughput_packets,
+            throughput_pps=result.throughput_pps,
+            utilization=result.utilization,
+            loss_percent=result.loss_percent,
+            gateway_arrivals=result.gateway_arrivals,
+            gateway_drops=result.gateway_drops,
+            timeouts=result.timeouts,
+            fast_retransmits=result.fast_retransmits,
+            dupacks=result.dupacks,
+            timeout_dupack_ratio=result.timeout_dupack_ratio,
+            timeout_fastrtx_ratio=result.timeout_fastrtx_ratio,
+            mean_queue_length=result.mean_queue_length,
+            red_marks=result.red_marks,
+            fairness=fairness,
+            mean_latency=result.mean_latency,
+            max_latency=result.max_latency,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (for CSV/JSON export)."""
+        return asdict(self)
+
+
+def metrics_table(
+    metrics: Sequence[ScenarioMetrics],
+    columns: Sequence[str] = (
+        "label",
+        "n_clients",
+        "cov",
+        "analytic_cov",
+        "throughput_packets",
+        "loss_percent",
+        "timeout_dupack_ratio",
+    ),
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render selected columns of a metrics list as a text table."""
+    rows: List[List[Any]] = []
+    for m in metrics:
+        record = m.as_dict()
+        rows.append([record[c] for c in columns])
+    return format_table(list(columns), rows, precision=precision, title=title)

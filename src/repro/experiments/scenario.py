@@ -1,0 +1,441 @@
+"""Build and run one client/server simulation (the paper's Section 3.1).
+
+:class:`Scenario` wires together the dumbbell topology, one transport
+sender per client with its sink at the server, Poisson traffic sources,
+and the gateway instrumentation; :func:`run_scenario` runs it and
+returns a :class:`ScenarioResult` carrying every metric the paper's
+evaluation reports (c.o.v., throughput, loss percentage, timeout /
+duplicate-ACK counts, congestion-window traces).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cov import coefficient_of_variation
+from repro.core.modulation import ModulationReport, modulation_report
+from repro.core.theory import poisson_aggregate_cov
+from repro.experiments.config import ScenarioConfig
+from repro.core.dependence import (
+    DependenceReport,
+    bin_flow_times,
+    dependence_report,
+)
+from repro.net.monitor import ArrivalMonitor, FlowArrivalMonitor
+from repro.net.fq import DRRQueue
+from repro.net.queues import DropTailQueue, PacketQueue
+from repro.net.red import AdaptiveREDQueue, REDParams, REDQueue
+from repro.net.topology import DumbbellNetwork, DumbbellParams
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.base import TrafficSource
+from repro.traffic.cbr import CbrSource
+from repro.traffic.onoff import ParetoOnOffSource
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.recorder import OfferedTrafficRecorder
+from repro.transport.base import Agent
+from repro.transport.ecn import EcnRenoSender
+from repro.transport.newreno import NewRenoSender
+from repro.transport.reno import RenoSender
+from repro.transport.sack import SackSender
+from repro.transport.sink import TcpSink, UdpSink
+from repro.transport.tahoe import TahoeSender
+from repro.transport.tcp_base import TcpParams, TcpSender
+from repro.transport.udp import UdpSender
+from repro.transport.vegas import VegasParams, VegasSender
+
+_TCP_SENDERS = {
+    "tahoe": TahoeSender,
+    "reno": RenoSender,
+    "reno_delack": RenoSender,
+    "newreno": NewRenoSender,
+    "sack": SackSender,
+    "vegas": VegasSender,
+    "reno_ecn": EcnRenoSender,
+}
+
+
+@dataclass
+class FlowSummary:
+    """Per-flow outcome: what one client's connection achieved."""
+
+    flow_id: int
+    app_packets: int
+    packets_sent: int
+    retransmits: int
+    delivered_unique: int
+    timeouts: int
+    fast_retransmits: int
+    dupacks: int
+    mean_latency: float = 0.0  # application-to-ACK, seconds
+    max_latency: float = 0.0
+
+
+@dataclass
+class ScenarioResult:
+    """Every measurement of one run."""
+
+    config: ScenarioConfig
+    # The paper's headline measure (Figure 2).
+    cov: float
+    offered_cov: float
+    analytic_cov: float
+    # Throughput and loss (Figures 3 and 4).
+    throughput_packets: int
+    throughput_pps: float
+    loss_percent: float
+    gateway_arrivals: int
+    gateway_drops: int
+    # Recovery accounting (Figure 13).
+    timeouts: int
+    fast_retransmits: int
+    dupacks: int
+    # Application-to-ACK latency aggregated over completed packets.
+    mean_latency: float
+    max_latency: float
+    # Derived artifacts.
+    bin_counts: np.ndarray
+    offered_bin_counts: np.ndarray
+    per_flow: List[FlowSummary]
+    cwnd_traces: Dict[int, List[Tuple[float, float]]]
+    mean_queue_length: float
+    red_marks: int
+    utilization: float
+    events_executed: int
+    modulation: Optional[ModulationReport] = None
+    per_flow_arrival_times: Optional[Dict[int, List[float]]] = None
+
+    def dependence(self) -> Optional[DependenceReport]:
+        """Cross-stream dependence diagnostics (requires the scenario to
+        have been run with ``record_flow_arrivals=True``)."""
+        if not self.per_flow_arrival_times:
+            return None
+        counts = bin_flow_times(
+            self.per_flow_arrival_times,
+            self.config.effective_bin_width,
+            self.config.warmup,
+            self.config.duration,
+        )
+        if counts.shape[0] < 2:
+            return None
+        return dependence_report(counts)
+
+    @property
+    def timeout_dupack_ratio(self) -> float:
+        """Figure 13's y-axis: timeouts per duplicate ACK received."""
+        if self.dupacks == 0:
+            return 0.0
+        return self.timeouts / self.dupacks
+
+    @property
+    def timeout_fastrtx_ratio(self) -> float:
+        """Timeout recoveries per fast-retransmit recovery."""
+        if self.fast_retransmits == 0:
+            return float("inf") if self.timeouts else 0.0
+        return self.timeouts / self.fast_retransmits
+
+    @property
+    def delivered_per_flow(self) -> np.ndarray:
+        """Unique packets delivered, per flow (fairness analysis)."""
+        return np.array([f.delivered_unique for f in self.per_flow], dtype=float)
+
+
+class Scenario:
+    """A fully wired simulation, ready to run."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        config.validate()
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+
+        dumbbell_params = DumbbellParams(
+            n_clients=config.n_clients,
+            client_rate_bps=config.client_rate_bps,
+            client_delay=config.client_delay,
+            bottleneck_rate_bps=config.bottleneck_rate_bps,
+            bottleneck_delay=config.bottleneck_delay,
+            buffer_capacity=config.buffer_capacity,
+            queue_factory=self._make_bottleneck_queue,
+        )
+        self.network = DumbbellNetwork(
+            self.sim, dumbbell_params, self.streams.stream("topology")
+        )
+
+        self.monitor = ArrivalMonitor(
+            bin_width=config.effective_bin_width, start_time=config.warmup
+        ).attach(self.network.bottleneck_interface)
+
+        self.offered_recorder: Optional[OfferedTrafficRecorder] = None
+        if config.record_offered:
+            self.offered_recorder = OfferedTrafficRecorder(start_time=config.warmup)
+
+        self.flow_monitor: Optional[FlowArrivalMonitor] = None
+        if config.record_flow_arrivals:
+            self.flow_monitor = FlowArrivalMonitor(start_time=config.warmup).attach(
+                self.network.bottleneck_interface
+            )
+
+        self.senders: List[Agent] = []
+        self.sinks: List[Agent] = []
+        self.sources: List[TrafficSource] = []
+        self._build_flows()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _make_bottleneck_queue(
+        self, params: DumbbellParams, rng: random.Random
+    ) -> PacketQueue:
+        config = self.config
+        if config.queue == "fifo":
+            return DropTailQueue(params.buffer_capacity, name="q:gateway->server")
+        if config.queue == "drr":
+            return DRRQueue(
+                params.buffer_capacity,
+                quantum=config.drr_quantum,
+                name="q:gateway->server",
+            )
+        red_params = REDParams(
+            min_th=config.red_min_th,
+            max_th=config.red_max_th,
+            max_p=config.red_max_p,
+            weight=config.red_weight,
+            gentle=config.red_gentle,
+            ecn=(config.protocol == "reno_ecn"),
+            idle_packet_time=config.packet_size * 8.0 / config.bottleneck_rate_bps,
+        )
+        red_rng = self.streams.stream("red")
+        if config.queue == "ared":
+            return AdaptiveREDQueue(
+                params.buffer_capacity, red_params, red_rng, name="q:gateway->server"
+            )
+        return REDQueue(
+            params.buffer_capacity, red_params, red_rng, name="q:gateway->server"
+        )
+
+    def _tcp_params(self) -> TcpParams:
+        config = self.config
+        return TcpParams(
+            packet_size=config.packet_size,
+            advertised_window=config.advertised_window,
+            initial_ssthresh=float(config.advertised_window),
+            tick=config.tcp_tick,
+            min_rto=config.min_rto,
+            initial_rto=config.initial_rto,
+            ecn=(config.protocol == "reno_ecn"),
+            pacing=config.pacing,
+        )
+
+    def _build_flows(self) -> None:
+        config = self.config
+        network = self.network
+        factory = network.packet_factory
+        for index, client in enumerate(network.clients):
+            trace = index in config.trace_cwnd_flows
+            if config.protocol == "udp":
+                sender: Agent = UdpSender(
+                    self.sim,
+                    client,
+                    index,
+                    network.SERVER,
+                    factory,
+                    packet_size=config.packet_size,
+                )
+                sink: Agent = UdpSink(
+                    self.sim, network.server, index, client.name, factory
+                )
+            else:
+                sender_cls = _TCP_SENDERS[config.protocol]
+                kwargs = {}
+                if sender_cls is VegasSender:
+                    kwargs["vegas_params"] = VegasParams(
+                        alpha=config.vegas_alpha,
+                        beta=config.vegas_beta,
+                        gamma=config.vegas_gamma,
+                    )
+                sender = sender_cls(
+                    self.sim,
+                    client,
+                    index,
+                    network.SERVER,
+                    factory,
+                    params=self._tcp_params(),
+                    trace_cwnd=trace,
+                    **kwargs,
+                )
+                sink = TcpSink(
+                    self.sim,
+                    network.server,
+                    index,
+                    client.name,
+                    factory,
+                    delayed_ack=(config.protocol == "reno_delack"),
+                    ack_delay=config.ack_delay,
+                    sack=(config.protocol == "sack"),
+                )
+            source = self._make_source(index, sender)
+            if self.offered_recorder is not None:
+                self.offered_recorder.attach(source)
+            source.start(at=0.0, stop_at=config.duration)
+            self.senders.append(sender)
+            self.sinks.append(sink)
+            self.sources.append(source)
+
+    def _make_source(self, index: int, sender: Agent) -> TrafficSource:
+        config = self.config
+        if config.traffic == "cbr":
+            return CbrSource(
+                self.sim, sender, gap=config.mean_gap, name=f"cbr-{index}"
+            )
+        if config.traffic == "pareto_onoff":
+            return ParetoOnOffSource(
+                self.sim,
+                sender,
+                rng=self.streams.stream(f"client-{index}/onoff"),
+                peak_gap=config.onoff_peak_gap,
+                mean_on=config.onoff_mean_on,
+                mean_off=config.onoff_mean_off,
+                shape_on=config.onoff_shape,
+                shape_off=config.onoff_shape,
+                name=f"onoff-{index}",
+            )
+        return PoissonSource(
+            self.sim,
+            sender,
+            rng=self.streams.stream(f"client-{index}/poisson"),
+            mean_gap=config.mean_gap,
+            name=f"poisson-{index}",
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Run to the configured duration and collect all metrics."""
+        config = self.config
+        self.sim.run(until=config.duration)
+        return self._collect()
+
+    def _collect(self) -> ScenarioResult:
+        config = self.config
+        counts = self.monitor.counts(until=config.duration)
+        cov = coefficient_of_variation(counts)
+        # The closed-form reference applies to the Poisson workload only.
+        if config.traffic == "poisson":
+            analytic = poisson_aggregate_cov(
+                config.n_clients, config.per_client_rate, config.effective_bin_width
+            )
+        else:
+            analytic = float("nan")
+
+        if self.offered_recorder is not None:
+            offered_counts = self.offered_recorder.bin_counts(
+                config.effective_bin_width, until=config.duration
+            )
+            offered_cov = coefficient_of_variation(offered_counts)
+        else:
+            offered_counts = np.zeros(0)
+            offered_cov = float("nan")
+
+        per_flow: List[FlowSummary] = []
+        timeouts = fast_retransmits = dupacks = 0
+        latency_count = 0
+        latency_sum = 0.0
+        latency_max = 0.0
+        cwnd_traces: Dict[int, List[Tuple[float, float]]] = {}
+        delivered_total = 0
+        for index, (sender, sink) in enumerate(zip(self.senders, self.sinks)):
+            delivered = sink.stats.unique_packets
+            delivered_total += delivered
+            if isinstance(sender, TcpSender):
+                stats = sender.stats
+                timeouts += stats.timeouts
+                fast_retransmits += stats.fast_retransmits
+                dupacks += stats.dupacks_received
+                latency_count += stats.latency_count
+                latency_sum += stats.latency_sum
+                latency_max = max(latency_max, stats.latency_max)
+                per_flow.append(
+                    FlowSummary(
+                        flow_id=index,
+                        app_packets=stats.app_packets,
+                        packets_sent=stats.packets_sent,
+                        retransmits=stats.retransmits,
+                        delivered_unique=delivered,
+                        timeouts=stats.timeouts,
+                        fast_retransmits=stats.fast_retransmits,
+                        dupacks=stats.dupacks_received,
+                        mean_latency=stats.mean_latency,
+                        max_latency=stats.latency_max,
+                    )
+                )
+                if sender.cwnd_log:
+                    cwnd_traces[index] = sender.cwnd_log
+            else:
+                per_flow.append(
+                    FlowSummary(
+                        flow_id=index,
+                        app_packets=self.sources[index].generated,
+                        packets_sent=getattr(sender, "packets_sent", 0),
+                        retransmits=0,
+                        delivered_unique=delivered,
+                        timeouts=0,
+                        fast_retransmits=0,
+                        dupacks=0,
+                    )
+                )
+
+        queue = self.network.bottleneck_queue
+        arrivals = queue.stats.arrivals
+        drops = queue.stats.drops
+        loss_percent = 100.0 * drops / arrivals if arrivals else 0.0
+        duration = config.duration
+        capacity_pps = config.bottleneck_capacity_pps
+        throughput_pps = delivered_total / duration
+
+        modulation = None
+        if offered_counts.size and counts.size:
+            reference = analytic if math.isfinite(analytic) else None
+            modulation = modulation_report(offered_counts, counts, reference)
+
+        return ScenarioResult(
+            config=config,
+            cov=cov,
+            offered_cov=offered_cov,
+            analytic_cov=analytic,
+            throughput_packets=delivered_total,
+            throughput_pps=throughput_pps,
+            loss_percent=loss_percent,
+            gateway_arrivals=arrivals,
+            gateway_drops=drops,
+            timeouts=timeouts,
+            fast_retransmits=fast_retransmits,
+            dupacks=dupacks,
+            mean_latency=(latency_sum / latency_count) if latency_count else 0.0,
+            max_latency=latency_max,
+            bin_counts=counts,
+            offered_bin_counts=offered_counts,
+            per_flow=per_flow,
+            cwnd_traces=cwnd_traces,
+            mean_queue_length=queue.stats.mean_occupancy(duration),
+            red_marks=queue.stats.marks,
+            utilization=throughput_pps / capacity_pps if capacity_pps else 0.0,
+            events_executed=self.sim.events_executed,
+            modulation=modulation,
+            per_flow_arrival_times=(
+                self.flow_monitor.times_by_flow
+                if self.flow_monitor is not None
+                else None
+            ),
+        )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one scenario (the one-call public entry point)."""
+    return Scenario(config).run()

@@ -1,0 +1,52 @@
+"""Running grids of scenarios, optionally in parallel.
+
+Workers receive a :class:`ScenarioConfig` (picklable dataclass) and
+return a flat :class:`ScenarioMetrics`; the heavyweight arrays never
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import run_scenario
+
+
+def run_one(config: ScenarioConfig) -> ScenarioMetrics:
+    """Run one configuration and return its flat metrics."""
+    return ScenarioMetrics.from_result(run_scenario(config))
+
+
+def run_many(
+    configs: Sequence[ScenarioConfig],
+    processes: Optional[int] = None,
+) -> List[ScenarioMetrics]:
+    """Run every configuration, preserving input order.
+
+    Args:
+        configs: the grid to run.
+        processes: worker processes; None picks ``min(cpu, len(configs))``,
+            and values <= 1 run everything in-process (easier debugging,
+            required on platforms without fork).
+    """
+    configs = list(configs)
+    if processes is None:
+        processes = min(os.cpu_count() or 1, len(configs)) or 1
+    if processes <= 1 or len(configs) <= 1:
+        return [run_one(config) for config in configs]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=processes) as pool:
+        return pool.map(run_one, configs)
+
+
+def client_grid(
+    base: ScenarioConfig,
+    client_counts: Sequence[int],
+    **overrides,
+) -> List[ScenarioConfig]:
+    """Configs varying the client count (one sweep axis)."""
+    return [base.with_(n_clients=n, **overrides) for n in client_counts]

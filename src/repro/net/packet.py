@@ -1,0 +1,153 @@
+"""Packets.
+
+Packets are the unit of simulation.  Following ns-2's ``Agent/TCP`` (the
+agent the paper used), TCP here is *packet-counted*: sequence numbers
+number whole packets, and windows/buffers are measured in packets.  That
+matches every number the paper reports (cwnd in packets, buffer size in
+packets, advertised window in packets).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# A SACK block: an inclusive (first, last) range of received packets.
+SackBlock = Tuple[int, int]
+
+
+class PacketType(enum.Enum):
+    """What a packet carries."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    Attributes:
+        uid: globally unique id (for tracing and debugging).
+        flow_id: id of the transport flow the packet belongs to.
+        src: name of the originating node.
+        dst: name of the destination node.
+        size: on-wire size in bytes (determines transmission time).
+        ptype: DATA or ACK.
+        seqno: packet sequence number (DATA packets; -1 otherwise).
+        ackno: highest in-order sequence received (ACK packets; -1 otherwise).
+        created_at: simulated time the packet was created.
+        is_retransmit: True if this DATA packet is a retransmission.
+        ecn_capable: ECT -- sender supports Explicit Congestion Notification.
+        ecn_ce: CE -- congestion experienced, set by an ECN-marking queue.
+        ecn_echo: ECE -- carried on ACKs back to the sender.
+        ts: sender timestamp option (echoed by the receiver for RTT taking).
+        ts_echo: receiver's echo of ``ts`` on ACKs.
+        sack_blocks: selective-ACK option on ACKs -- up to three inclusive
+            (first, last) ranges of out-of-order packets the receiver holds.
+    """
+
+    uid: int
+    flow_id: int
+    src: str
+    dst: str
+    size: int
+    ptype: PacketType
+    seqno: int = -1
+    ackno: int = -1
+    created_at: float = 0.0
+    is_retransmit: bool = False
+    ecn_capable: bool = False
+    ecn_ce: bool = False
+    ecn_echo: bool = False
+    ts: float = 0.0
+    ts_echo: float = 0.0
+    sack_blocks: Tuple[SackBlock, ...] = ()
+
+    @property
+    def is_data(self) -> bool:
+        """True for DATA packets."""
+        return self.ptype is PacketType.DATA
+
+    @property
+    def is_ack(self) -> bool:
+        """True for ACK packets."""
+        return self.ptype is PacketType.ACK
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "DATA" if self.is_data else "ACK"
+        num = self.seqno if self.is_data else self.ackno
+        return (
+            f"<Packet #{self.uid} {kind} flow={self.flow_id} "
+            f"{self.src}->{self.dst} n={num} {self.size}B>"
+        )
+
+
+# Size of a pure acknowledgement, in bytes (TCP/IP headers only).
+ACK_SIZE_BYTES = 40
+
+
+@dataclass
+class PacketFactory:
+    """Mints packets with unique ids.
+
+    One factory per simulation keeps uids dense and runs reproducible.
+    """
+
+    _counter: "itertools.count[int]" = field(default_factory=itertools.count)
+
+    def data(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size: int,
+        seqno: int,
+        now: float,
+        is_retransmit: bool = False,
+        ecn_capable: bool = False,
+        ts: Optional[float] = None,
+    ) -> Packet:
+        """Create a DATA packet."""
+        return Packet(
+            uid=next(self._counter),
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=size,
+            ptype=PacketType.DATA,
+            seqno=seqno,
+            created_at=now,
+            is_retransmit=is_retransmit,
+            ecn_capable=ecn_capable,
+            ts=now if ts is None else ts,
+        )
+
+    def ack(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        ackno: int,
+        now: float,
+        size: int = ACK_SIZE_BYTES,
+        ecn_echo: bool = False,
+        ts_echo: float = 0.0,
+        sack_blocks: Tuple[SackBlock, ...] = (),
+    ) -> Packet:
+        """Create an ACK packet."""
+        return Packet(
+            uid=next(self._counter),
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            size=size,
+            ptype=PacketType.ACK,
+            ackno=ackno,
+            created_at=now,
+            ecn_echo=ecn_echo,
+            ts_echo=ts_echo,
+            sack_blocks=sack_blocks,
+        )

@@ -1,0 +1,155 @@
+"""Queueing disciplines: the abstract interface and drop-tail FIFO.
+
+A queue fronts each link transmitter (one per output port).  The
+transmitter calls :meth:`PacketQueue.dequeue` whenever it goes idle; the
+forwarding path calls :meth:`PacketQueue.enqueue` on arrival.  A queue
+decides admission (drop-tail, RED probabilistic drop, ECN marking) and
+keeps its own statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import Packet
+
+DropHook = Callable[[Packet, float], None]
+
+
+@dataclass
+class QueueStats:
+    """Counters every queue maintains."""
+
+    arrivals: int = 0
+    departures: int = 0
+    drops: int = 0
+    marks: int = 0
+    bytes_arrived: int = 0
+    bytes_departed: int = 0
+    # Time-weighted queue-length integral, for mean occupancy.
+    _occupancy_integral: float = 0.0
+    _last_change: float = 0.0
+    _samples: List[int] = field(default_factory=list)
+
+    def note_length(self, length: int, now: float) -> None:
+        """Account occupancy up to ``now`` (call on every length change)."""
+        self._occupancy_integral += length * (now - self._last_change)
+        self._last_change = now
+
+    def mean_occupancy(self, duration: float) -> float:
+        """Time-averaged queue length over ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        return self._occupancy_integral / duration
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of arrivals dropped."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+
+class PacketQueue:
+    """Base class for queueing disciplines.
+
+    Subclasses implement :meth:`_admit`, returning True to enqueue the
+    packet or False to drop it.  Dropped packets are reported to every
+    registered drop hook (monitors, transport-layer loss loggers).
+    """
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1 packet")
+        self.capacity = capacity
+        self.name = name
+        self.stats = QueueStats()
+        self._packets: Deque[Packet] = deque()
+        self._drop_hooks: List[DropHook] = []
+        self._enqueue_hooks: List[DropHook] = []
+        self._dequeue_hooks: List[DropHook] = []
+        self._now: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Hook registration
+    # ------------------------------------------------------------------
+    def add_drop_hook(self, hook: DropHook) -> None:
+        """Register ``hook(packet, time)`` to be called on each drop."""
+        self._drop_hooks.append(hook)
+
+    def add_enqueue_hook(self, hook: DropHook) -> None:
+        """Register ``hook(packet, time)`` called on each admission."""
+        self._enqueue_hooks.append(hook)
+
+    def add_dequeue_hook(self, hook: DropHook) -> None:
+        """Register ``hook(packet, time)`` called on each departure."""
+        self._dequeue_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def byte_length(self) -> int:
+        """Total bytes queued."""
+        return sum(packet.size for packet in self._packets)
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Offer ``packet`` to the queue at time ``now``.
+
+        Returns True if admitted, False if dropped.
+        """
+        self._now = now
+        self.stats.arrivals += 1
+        self.stats.bytes_arrived += packet.size
+        if self._admit(packet, now):
+            self.stats.note_length(len(self._packets), now)
+            self._packets.append(packet)
+            for hook in self._enqueue_hooks:
+                hook(packet, now)
+            return True
+        self._drop(packet, now)
+        return False
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head packet, or None if empty."""
+        self._now = now
+        if not self._packets:
+            return None
+        self.stats.note_length(len(self._packets), now)
+        packet = self._packets.popleft()
+        self.stats.departures += 1
+        self.stats.bytes_departed += packet.size
+        self._on_dequeue(packet, now)
+        for hook in self._dequeue_hooks:
+            hook(packet, now)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def _admit(self, packet: Packet, now: float) -> bool:
+        """Admission decision; subclasses override."""
+        raise NotImplementedError
+
+    def _on_dequeue(self, packet: Packet, now: float) -> None:
+        """Subclass hook called after a packet leaves the queue."""
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop(self, packet: Packet, now: float) -> None:
+        self.stats.drops += 1
+        for hook in self._drop_hooks:
+            hook(packet, now)
+
+
+class DropTailQueue(PacketQueue):
+    """Plain FIFO with tail drop -- the paper's "FIFO" gateway discipline."""
+
+    def _admit(self, packet: Packet, now: float) -> bool:
+        return len(self._packets) < self.capacity

@@ -1,0 +1,33 @@
+"""Discrete-event simulation engine.
+
+This package provides the event-driven substrate on which the network
+model (:mod:`repro.net`), transport protocols (:mod:`repro.transport`),
+and traffic generators (:mod:`repro.traffic`) are built.  It plays the
+role that the scheduler core of the *ns* simulator played for the paper's
+original experiments.
+
+Public API:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.events.Event` -- a scheduled callback.
+* :class:`~repro.sim.timers.Timer` -- a restartable one-shot timer.
+* :class:`~repro.sim.rng.RandomStreams` -- named, reproducible random
+  number streams derived from a single root seed.
+* :class:`~repro.sim.trace.TraceRecorder` -- structured event tracing.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceRecorder, TraceRow
+
+__all__ = [
+    "Event",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceRecorder",
+    "TraceRow",
+]

@@ -1,0 +1,164 @@
+"""The discrete-event simulator (event loop).
+
+The engine is a classic calendar-queue simulator: a binary heap of
+:class:`~repro.sim.events.Event` objects ordered by
+``(time, priority, seq)``.  Components schedule callbacks; the loop pops
+them in time order and invokes them.  All model time is in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling errors (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    The kernel guarantees:
+
+    * events fire in non-decreasing time order;
+    * events scheduled for the same time fire in (priority, insertion)
+      order, which makes runs deterministic;
+    * cancelled events never fire.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events, including cancelled ones not yet popped."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}; clock is already at {self._now!r}"
+            )
+        event = Event(time, self._seq, callback, args, priority)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self._events_executed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the next event would fire strictly after this
+                time; the clock is advanced to ``until``.  If None, run
+                until the queue drains.
+            max_events: optional safety valve on the number of events.
+
+        Returns:
+            The simulated time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled(self) -> None:
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)

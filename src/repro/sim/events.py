@@ -1,0 +1,56 @@
+"""Event objects scheduled on the simulator's calendar queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Event:
+    """A callback scheduled to fire at a simulated time.
+
+    Events are ordered by ``(time, priority, seq)``.  The sequence number
+    is assigned by the simulator at scheduling time, which makes the
+    execution order of same-time events deterministic (FIFO within a
+    priority class) -- essential for reproducible runs.
+
+    Events support O(1) cancellation: :meth:`cancel` marks the event dead
+    and the simulator discards it when it reaches the head of the queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; it will never fire."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Total ordering used by the calendar queue."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name} {state}>"

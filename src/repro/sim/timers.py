@@ -1,0 +1,58 @@
+"""Restartable one-shot timers built on the simulator.
+
+TCP needs several of these (retransmission timer, delayed-ACK timer,
+Vegas per-RTT timer); this class wraps the cancel/reschedule dance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and cancelled.
+
+    The callback receives no arguments; bind state via a closure or a
+    bound method.  Restarting a pending timer cancels the previous
+    expiry, exactly like ns-2's ``TimerHandler::resched``.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not yet fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time if armed, else None."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Alias of :meth:`start`, for call sites that read better this way."""
+        self.start(delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,99 @@
+"""Structured trace recording.
+
+A :class:`TraceRecorder` collects typed rows ``(time, category, fields)``
+during a run -- packet arrivals, drops, cwnd changes, timer events --
+and supports filtering and CSV export.  It is the Python analogue of
+ns-2's trace files, but kept in memory and queryable.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """One trace record."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with a default, like ``dict.get``."""
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """In-memory trace sink with per-category filtering.
+
+    Tracing every packet of a large run is memory-hungry, so categories
+    must be explicitly enabled; rows for disabled categories are dropped
+    at the call site with one dict lookup.
+    """
+
+    def __init__(self, enabled: Optional[Iterable[str]] = None) -> None:
+        self._rows: List[TraceRow] = []
+        self._enabled = set(enabled) if enabled is not None else set()
+        self._record_all = enabled is None
+
+    def enable(self, category: str) -> None:
+        """Start recording rows of ``category``."""
+        self._record_all = False
+        self._enabled.add(category)
+
+    def disable(self, category: str) -> None:
+        """Stop recording rows of ``category``."""
+        self._record_all = False
+        self._enabled.discard(category)
+
+    def wants(self, category: str) -> bool:
+        """True if rows of ``category`` would be recorded."""
+        return self._record_all or category in self._enabled
+
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        """Record one row (no-op if the category is disabled)."""
+        if self.wants(category):
+            self._rows.append(TraceRow(time, category, fields))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[TraceRow]:
+        return iter(self._rows)
+
+    def rows(self, category: Optional[str] = None) -> List[TraceRow]:
+        """All rows, or only those of one category, in time order."""
+        if category is None:
+            return list(self._rows)
+        return [row for row in self._rows if row.category == category]
+
+    def clear(self) -> None:
+        """Drop all recorded rows."""
+        self._rows.clear()
+
+    def to_csv(self, path: str, category: Optional[str] = None) -> int:
+        """Write rows to ``path`` as CSV; returns the number written.
+
+        The column set is the union of field names across the selected
+        rows, preceded by ``time`` and ``category``.
+        """
+        rows = self.rows(category)
+        field_names: List[str] = []
+        seen = set()
+        for row in rows:
+            for key in row.fields:
+                if key not in seen:
+                    seen.add(key)
+                    field_names.append(key)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time", "category", *field_names])
+            for row in rows:
+                writer.writerow(
+                    [row.time, row.category]
+                    + [row.fields.get(name, "") for name in field_names]
+                )
+        return len(rows)

@@ -1,0 +1,36 @@
+"""Constant-bit-rate traffic: deterministic inter-packet gaps.
+
+The zero-variance workload: useful in tests (exact packet counts) and
+as an ablation input (c.o.v. of the offered aggregate is driven only by
+phase, not by source randomness).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.traffic.base import TrafficSource
+from repro.transport.base import Agent
+
+
+class CbrSource(TrafficSource):
+    """Fixed inter-arrival packet generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: Agent,
+        gap: float = 0.1,
+        name: str = "cbr",
+    ) -> None:
+        if gap <= 0:
+            raise ValueError("inter-generation gap must be positive")
+        super().__init__(sim, agent, name)
+        self.gap = gap
+
+    @property
+    def rate(self) -> float:
+        """Generation rate in packets/second."""
+        return 1.0 / self.gap
+
+    def _next_gap(self) -> float:
+        return self.gap

@@ -1,0 +1,40 @@
+"""Poisson traffic: the paper's client workload.
+
+Single packets are submitted to the transport stack with exponentially
+distributed inter-packet times of mean ``1/lambda`` (Table 1: mean
+inter-generation time 0.1 s, i.e. 10 packets/s per client).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.engine import Simulator
+from repro.traffic.base import TrafficSource
+from repro.transport.base import Agent
+
+
+class PoissonSource(TrafficSource):
+    """Exponential inter-arrival packet generator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: Agent,
+        rng: random.Random,
+        mean_gap: float = 0.1,
+        name: str = "poisson",
+    ) -> None:
+        if mean_gap <= 0:
+            raise ValueError("mean inter-generation time must be positive")
+        super().__init__(sim, agent, name)
+        self._rng = rng
+        self.mean_gap = mean_gap
+
+    @property
+    def rate(self) -> float:
+        """Mean generation rate in packets/second."""
+        return 1.0 / self.mean_gap
+
+    def _next_gap(self) -> float:
+        return self._rng.expovariate(1.0 / self.mean_gap)

@@ -1,0 +1,43 @@
+"""Transport protocols.
+
+Packet-counted implementations (in the style of ns-2's ``Agent/TCP``,
+which the paper used) of:
+
+* UDP (no flow or congestion control),
+* TCP Tahoe (slow start + congestion avoidance + fast retransmit),
+* TCP Reno (+ fast recovery) -- the paper's main subject,
+* TCP NewReno (partial-ACK aware fast recovery),
+* TCP Vegas (alpha/beta/gamma congestion avoidance),
+* ECN-capable Reno (reacts to RED marks instead of drops),
+
+plus receiving sinks with an optional delayed-ACK policy (the paper's
+"Reno/DelayAck" configuration).
+"""
+
+from repro.transport.base import Agent
+from repro.transport.newreno import NewRenoSender
+from repro.transport.reno import RenoSender
+from repro.transport.sack import SackSender
+from repro.transport.sink import TcpSink, UdpSink
+from repro.transport.tahoe import TahoeSender
+from repro.transport.tcp_base import TcpParams, TcpSender, TcpSenderStats
+from repro.transport.udp import UdpSender
+from repro.transport.vegas import VegasParams, VegasSender
+from repro.transport.ecn import EcnRenoSender
+
+__all__ = [
+    "Agent",
+    "EcnRenoSender",
+    "NewRenoSender",
+    "RenoSender",
+    "SackSender",
+    "TahoeSender",
+    "TcpParams",
+    "TcpSender",
+    "TcpSenderStats",
+    "TcpSink",
+    "UdpSender",
+    "UdpSink",
+    "VegasParams",
+    "VegasSender",
+]

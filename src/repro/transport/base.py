@@ -1,0 +1,52 @@
+"""The transport agent interface.
+
+An agent is bound to a flow id on a node.  Senders accept packets from
+an application (a traffic source) via :meth:`Agent.app_arrival`; all
+agents receive network packets via :meth:`Agent.receive`.
+"""
+
+from __future__ import annotations
+
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketFactory
+from repro.sim.engine import Simulator
+
+
+class Agent:
+    """Base class for transport endpoints (senders and sinks)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow_id: int,
+        peer: str,
+        packet_factory: PacketFactory,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.flow_id = flow_id
+        self.peer = peer
+        self.packet_factory = packet_factory
+        node.bind_flow(flow_id, self)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def app_arrival(self, n_packets: int = 1) -> None:
+        """The application hands ``n_packets`` packets to the transport.
+
+        Sinks do not send; the default raises.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot send")
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """A packet addressed to this agent arrived."""
+        raise NotImplementedError
+
+    def _transmit(self, packet: Packet) -> None:
+        """Hand a packet to the local node for forwarding."""
+        self.node.send(packet)

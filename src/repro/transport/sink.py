@@ -1,0 +1,202 @@
+"""Receiving sinks.
+
+:class:`TcpSink` acknowledges received DATA packets with cumulative
+ACKs, optionally under a delayed-ACK policy (ACK every second in-order
+packet, or when a timer expires; out-of-order data is ACKed immediately,
+producing the duplicate ACKs fast retransmit relies on).
+
+:class:`UdpSink` just counts what arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.net.monitor import FlowStats
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketFactory
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.transport.base import Agent
+
+
+class UdpSink(Agent):
+    """Counts delivered datagrams; sends nothing back."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow_id: int,
+        peer: str,
+        packet_factory: PacketFactory,
+        record_arrivals: bool = False,
+    ) -> None:
+        super().__init__(sim, node, flow_id, peer, packet_factory)
+        self.stats = FlowStats(flow_id)
+        self._record_arrivals = record_arrivals
+
+    def receive(self, packet: Packet) -> None:
+        stats = self.stats
+        stats.packets_received += 1
+        stats.unique_packets += 1
+        stats.bytes_received += packet.size
+        stats.last_arrival = self.sim.now
+        if self._record_arrivals:
+            stats.arrival_times.append(self.sim.now)
+
+
+class TcpSink(Agent):
+    """Cumulative-ACK TCP receiver.
+
+    Sequence numbers count packets; the sink tracks the highest in-order
+    packet received and acknowledges with ``ackno`` = that number
+    (ns-2 convention).  Out-of-order packets are buffered (a set of seen
+    sequence numbers) and trigger an immediate duplicate ACK.
+
+    Args:
+        delayed_ack: if True, in-order arrivals are acknowledged every
+            second packet or after ``ack_delay`` seconds, whichever comes
+            first (RFC 1122 / 2581 behaviour, ns-2's ``DelAck`` sink).
+        ack_delay: the delayed-ACK timer interval.
+        sack: if True, every ACK carries up to ``MAX_SACK_BLOCKS``
+            selective-acknowledgement ranges describing the out-of-order
+            packets held in the reassembly buffer (RFC 2018).
+    """
+
+    MAX_SACK_BLOCKS = 3
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow_id: int,
+        peer: str,
+        packet_factory: PacketFactory,
+        delayed_ack: bool = False,
+        ack_delay: float = 0.1,
+        sack: bool = False,
+        record_arrivals: bool = False,
+    ) -> None:
+        super().__init__(sim, node, flow_id, peer, packet_factory)
+        self.delayed_ack = delayed_ack
+        self.ack_delay = ack_delay
+        self.sack = sack
+        self._last_oo_seq = -1  # most recent out-of-order arrival
+        self.stats = FlowStats(flow_id)
+        self.next_expected = 0
+        self.acks_sent = 0
+        self._record_arrivals = record_arrivals
+        self._buffered: Set[int] = set()
+        self._unacked_in_order = 0
+        self._pending_ecn_echo = False
+        self._delack_timer: Optional[Timer] = None
+        if delayed_ack:
+            self._delack_timer = Timer(sim, self._delack_expire)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_data:
+            return
+        now = self.sim.now
+        stats = self.stats
+        stats.packets_received += 1
+        stats.bytes_received += packet.size
+        stats.last_arrival = now
+        if self._record_arrivals:
+            stats.arrival_times.append(now)
+        if packet.ecn_ce:
+            self._pending_ecn_echo = True
+
+        seq = packet.seqno
+        if seq == self.next_expected:
+            stats.unique_packets += 1
+            self.next_expected += 1
+            # Drain any previously buffered out-of-order packets.
+            while self.next_expected in self._buffered:
+                self._buffered.discard(self.next_expected)
+                stats.unique_packets += 1
+                self.next_expected += 1
+            self._in_order_ack()
+        elif seq > self.next_expected:
+            if seq in self._buffered:
+                stats.duplicates += 1
+            else:
+                self._buffered.add(seq)
+                self._last_oo_seq = seq
+                stats.out_of_order += 1
+            # A gap exists: duplicate-ACK immediately (RFC 2581).
+            self._send_ack()
+        else:
+            # Below the cumulative point: a spurious retransmission.
+            stats.duplicates += 1
+            self._send_ack()
+
+    # ------------------------------------------------------------------
+    # ACK generation
+    # ------------------------------------------------------------------
+    @property
+    def highest_in_order(self) -> int:
+        """The sequence number the next ACK will carry (-1 if none)."""
+        return self.next_expected - 1
+
+    def _in_order_ack(self) -> None:
+        if not self.delayed_ack:
+            self._send_ack()
+            return
+        self._unacked_in_order += 1
+        if self._unacked_in_order >= 2:
+            self._send_ack()
+        else:
+            assert self._delack_timer is not None
+            if not self._delack_timer.pending:
+                self._delack_timer.start(self.ack_delay)
+
+    def _delack_expire(self) -> None:
+        if self._unacked_in_order > 0:
+            self._send_ack()
+
+    def sack_blocks(self):
+        """Current SACK option: contiguous ranges of the reassembly
+        buffer, the block containing the latest arrival first (RFC 2018
+        ordering), capped at ``MAX_SACK_BLOCKS``."""
+        if not self._buffered:
+            return ()
+        ranges = []
+        run_start = None
+        previous = None
+        for seq in sorted(self._buffered):
+            if run_start is None:
+                run_start = previous = seq
+                continue
+            if seq == previous + 1:
+                previous = seq
+                continue
+            ranges.append((run_start, previous))
+            run_start = previous = seq
+        ranges.append((run_start, previous))
+        # Most-recent-first ordering.
+        ranges.sort(
+            key=lambda block: block[0] <= self._last_oo_seq <= block[1],
+            reverse=True,
+        )
+        return tuple(ranges[: self.MAX_SACK_BLOCKS])
+
+    def _send_ack(self) -> None:
+        self._unacked_in_order = 0
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+        ack = self.packet_factory.ack(
+            flow_id=self.flow_id,
+            src=self.node.name,
+            dst=self.peer,
+            ackno=self.highest_in_order,
+            now=self.sim.now,
+            ecn_echo=self._pending_ecn_echo,
+            sack_blocks=self.sack_blocks() if self.sack else (),
+        )
+        self._pending_ecn_echo = False
+        self.acks_sent += 1
+        self._transmit(ack)

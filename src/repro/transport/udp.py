@@ -1,0 +1,48 @@
+"""UDP sender: the transparent transport baseline.
+
+The paper uses UDP to show that without flow/congestion control the
+aggregate at the gateway keeps the application traffic's (smooth)
+statistics.  Each application packet is transmitted immediately.
+"""
+
+from __future__ import annotations
+
+from repro.net.node import Node
+from repro.net.packet import PacketFactory
+from repro.sim.engine import Simulator
+from repro.transport.base import Agent
+
+
+class UdpSender(Agent):
+    """Sends one datagram per application packet, immediately."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        flow_id: int,
+        peer: str,
+        packet_factory: PacketFactory,
+        packet_size: int = 1000,
+    ) -> None:
+        super().__init__(sim, node, flow_id, peer, packet_factory)
+        self.packet_size = packet_size
+        self.packets_sent = 0
+        self._next_seq = 0
+
+    def app_arrival(self, n_packets: int = 1) -> None:
+        for _ in range(n_packets):
+            packet = self.packet_factory.data(
+                flow_id=self.flow_id,
+                src=self.node.name,
+                dst=self.peer,
+                size=self.packet_size,
+                seqno=self._next_seq,
+                now=self.sim.now,
+            )
+            self._next_seq += 1
+            self.packets_sent += 1
+            self._transmit(packet)
+
+    def receive(self, packet) -> None:  # pragma: no cover - UDP ignores input
+        """UDP senders expect nothing back."""

@@ -1,0 +1,89 @@
+"""Unit tests for the complementary burstiness measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.burstiness import (
+    BurstinessProfile,
+    aggregate_counts,
+    index_of_dispersion,
+    multiscale_cov,
+    peak_to_mean,
+)
+
+
+class TestIDC:
+    def test_poisson_idc_near_one(self):
+        counts = np.random.default_rng(0).poisson(20.0, size=20000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, rel=0.05)
+
+    def test_constant_idc_zero(self):
+        assert index_of_dispersion([7, 7, 7]) == 0.0
+
+    def test_all_zero(self):
+        assert index_of_dispersion([0, 0]) == 0.0
+
+    def test_empty_nan(self):
+        assert math.isnan(index_of_dispersion([]))
+
+
+class TestPeakToMean:
+    def test_known_value(self):
+        assert peak_to_mean([1, 2, 3]) == pytest.approx(1.5)
+
+    def test_constant(self):
+        assert peak_to_mean([4, 4]) == 1.0
+
+    def test_empty_nan(self):
+        assert math.isnan(peak_to_mean([]))
+
+    def test_zero_mean(self):
+        assert peak_to_mean([0, 0]) == 0.0
+
+
+class TestAggregation:
+    def test_sums_adjacent_groups(self):
+        assert list(aggregate_counts([1, 2, 3, 4, 5, 6], 2)) == [3, 7, 11]
+
+    def test_discards_remainder(self):
+        assert list(aggregate_counts([1, 2, 3, 4, 5], 2)) == [3, 7]
+
+    def test_factor_one_identity(self):
+        assert list(aggregate_counts([1, 2, 3], 1)) == [1, 2, 3]
+
+    def test_factor_larger_than_series(self):
+        assert aggregate_counts([1, 2], 5).size == 0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            aggregate_counts([1], 0)
+
+
+class TestMultiscale:
+    def test_iid_counts_smooth_like_sqrt_m(self):
+        counts = np.random.default_rng(2).poisson(20.0, size=4096)
+        scales = multiscale_cov(counts, factors=(1, 4, 16))
+        assert scales[4] == pytest.approx(scales[1] / 2.0, rel=0.15)
+        assert scales[16] == pytest.approx(scales[1] / 4.0, rel=0.2)
+
+    def test_skips_scales_with_too_few_groups(self):
+        scales = multiscale_cov([1, 2, 3, 4], factors=(1, 2, 4))
+        assert 4 not in scales
+        assert 1 in scales
+
+
+class TestProfile:
+    def test_from_counts_consistency(self):
+        counts = [2, 4, 6, 8]
+        profile = BurstinessProfile.from_counts(counts)
+        assert profile.mean == pytest.approx(5.0)
+        assert profile.cov == pytest.approx(np.std(counts) / 5.0)
+        assert profile.peak_to_mean == pytest.approx(1.6)
+        assert 1 in profile.multiscale
+
+    def test_describe_mentions_measures(self):
+        text = BurstinessProfile.from_counts([1, 2, 3, 4]).describe()
+        assert "c.o.v." in text
+        assert "IDC" in text

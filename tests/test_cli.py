@@ -1,0 +1,168 @@
+"""Tests for the repro-tcp command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, parse_range
+
+
+class TestParseRange:
+    def test_colon_range_inclusive(self):
+        assert parse_range("4:12:4") == [4, 8, 12]
+
+    def test_colon_range_default_step(self):
+        assert parse_range("1:4") == [1, 2, 3, 4]
+
+    def test_comma_list(self):
+        assert parse_range("3,7,20") == [3, 7, 20]
+
+    def test_single_value(self):
+        assert parse_range("5") == [5]
+
+    @pytest.mark.parametrize("spec", ["5:1", "1:5:0", "1:2:3:4"])
+    def test_invalid(self, spec):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_range(spec)
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ["table1", "run", "fig2", "fig3", "fig4", "fig13", "cwnd"]:
+            args = parser.parse_args(
+                [command] if command == "table1" else [command]
+            )
+            assert args.command == command
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "reno"
+        assert args.queue == "fifo"
+        assert args.clients == 20
+
+    def test_fig_clients_parsing(self):
+        args = build_parser().parse_args(["fig2", "--clients", "2:6:2"])
+        assert args.clients == [2, 4, 6]
+
+
+class TestMain:
+    def test_table1_prints_parameters(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "50 packets" in out
+        assert "3 Mbps" in out
+
+    def test_run_single_scenario(self, capsys):
+        code = main(
+            ["run", "--protocol", "udp", "--clients", "2", "--duration", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UDP" in out
+
+    def test_run_writes_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        main(
+            [
+                "run",
+                "--protocol",
+                "udp",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert csv_path.exists()
+        assert json_path.exists()
+
+    def test_fig2_small_sweep(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig2.csv"
+        code = main(
+            [
+                "fig2",
+                "--clients",
+                "2,3",
+                "--duration",
+                "3",
+                "--processes",
+                "1",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Poisson" in out
+        assert csv_path.exists()
+
+    def test_cwnd_renders_traces(self, capsys):
+        code = main(
+            ["cwnd", "--protocol", "reno", "--clients", "3", "--duration", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cwnd of client" in out
+
+    def test_replicate_summarizes_seeds(self, capsys, tmp_path):
+        json_path = tmp_path / "rep.json"
+        code = main(
+            [
+                "replicate",
+                "--protocol",
+                "udp",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--replicas",
+                "2",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicas" in out
+        assert "ci low" in out
+        assert json_path.exists()
+
+    def test_all_writes_every_artifact(self, capsys, tmp_path):
+        outdir = tmp_path / "results"
+        code = main(
+            [
+                "all",
+                "--outdir",
+                str(outdir),
+                "--clients",
+                "2,3",
+                "--duration",
+                "3",
+                "--processes",
+                "1",
+            ]
+        )
+        assert code == 0
+        names = {p.name for p in outdir.iterdir()}
+        assert "table1.txt" in names
+        assert "fig02_cov.csv" in names
+        assert "fig02_cov.txt" in names
+        assert "fig13_timeout_ratio.csv" in names
+        assert "sweep_metrics.csv" in names
+
+    def test_dependence_reports_diagnostics(self, capsys):
+        code = main(
+            ["dependence", "--protocol", "reno", "--clients", "3", "--duration", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "var(sum)/sum(var)" in out
+        assert "aggregate c.o.v." in out

@@ -1,0 +1,114 @@
+"""Unit tests for scenario configuration (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import (
+    PROTOCOLS,
+    QUEUES,
+    ScenarioConfig,
+    paper_config,
+    table1_rows,
+)
+
+
+def test_defaults_are_the_reconstructed_table1():
+    config = ScenarioConfig()
+    assert config.client_rate_bps == 10e6
+    assert config.bottleneck_rate_bps == 3e6
+    assert config.buffer_capacity == 50
+    assert config.packet_size == 1000
+    assert config.mean_gap == 0.1
+    assert config.duration == 200.0
+    assert config.advertised_window == 20
+    assert (config.vegas_alpha, config.vegas_beta, config.vegas_gamma) == (1, 3, 1)
+    assert (config.red_min_th, config.red_max_th) == (10.0, 40.0)
+
+
+def test_rtt_prop_and_bin_width():
+    config = ScenarioConfig(client_delay=0.002, bottleneck_delay=0.2)
+    assert config.rtt_prop == pytest.approx(0.404)
+    assert config.effective_bin_width == pytest.approx(0.404)
+    assert config.with_(bin_width=1.0).effective_bin_width == 1.0
+
+
+def test_derived_load_quantities():
+    config = ScenarioConfig()
+    assert config.per_client_rate == pytest.approx(10.0)
+    assert config.bottleneck_capacity_pps == pytest.approx(375.0)
+    assert config.congestion_knee_clients == pytest.approx(37.5)
+    assert config.offered_load_bps == pytest.approx(
+        config.n_clients * 80_000.0
+    )
+
+
+@pytest.mark.parametrize(
+    "protocol,queue,expected",
+    [
+        ("udp", "fifo", "UDP"),
+        ("reno", "fifo", "Reno"),
+        ("reno", "red", "Reno/RED"),
+        ("vegas", "red", "Vegas/RED"),
+        ("reno_delack", "fifo", "Reno/DelayAck"),
+        ("vegas", "ared", "Vegas/ARED"),
+    ],
+)
+def test_labels(protocol, queue, expected):
+    assert ScenarioConfig(protocol=protocol, queue=queue).label == expected
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(protocol="quic"),
+        dict(queue="codel"),
+        dict(n_clients=0),
+        dict(duration=0.0),
+        dict(warmup=300.0),
+        dict(mean_gap=0.0),
+        dict(protocol="reno_ecn", queue="fifo"),
+    ],
+)
+def test_validate_rejects(overrides):
+    with pytest.raises(ValueError):
+        ScenarioConfig(**overrides).validate()
+
+
+def test_all_declared_protocol_queue_combinations_validate():
+    for protocol in PROTOCOLS:
+        for queue in QUEUES:
+            if protocol == "reno_ecn" and queue == "fifo":
+                continue
+            ScenarioConfig(protocol=protocol, queue=queue).validate()
+
+
+def test_with_creates_modified_copy():
+    base = ScenarioConfig()
+    other = base.with_(n_clients=40, protocol="vegas")
+    assert other.n_clients == 40
+    assert other.protocol == "vegas"
+    assert base.n_clients == 20  # original untouched
+
+
+def test_paper_config_overrides():
+    config = paper_config(duration=10.0, seed=7)
+    assert config.duration == 10.0
+    assert config.seed == 7
+
+
+def test_config_is_picklable_dataclass():
+    import pickle
+
+    config = ScenarioConfig()
+    assert dataclasses.is_dataclass(config)
+    assert pickle.loads(pickle.dumps(config)) == config
+
+
+def test_table1_rows_cover_every_paper_parameter():
+    rows = dict(table1_rows())
+    assert rows["gateway buffer size (B)"] == "50 packets"
+    assert rows["packet size"] == "1000 bytes"
+    assert rows["RED max_th"] == "40 packets"
+    assert rows["TCP Vegas beta"] == "3"
+    assert len(rows) == 14

@@ -1,0 +1,155 @@
+"""Unit tests for the cross-stream dependence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import (
+    autocorrelation,
+    bin_flow_times,
+    dependence_report,
+    mean_pairwise_correlation,
+    pairwise_correlations,
+)
+
+
+def independent_counts(n_flows=10, n_bins=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.poisson(5.0, size=(n_flows, n_bins)).astype(float)
+
+
+def synchronized_counts(n_flows=10, n_bins=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    shared = rng.poisson(5.0, size=n_bins)
+    noise = rng.poisson(1.0, size=(n_flows, n_bins))
+    return (shared[None, :] + noise).astype(float)
+
+
+class TestPairwiseCorrelations:
+    def test_independent_streams_near_zero(self):
+        correlations = pairwise_correlations(independent_counts())
+        assert abs(correlations.mean()) < 0.02
+
+    def test_synchronized_streams_strongly_positive(self):
+        correlations = pairwise_correlations(synchronized_counts())
+        assert correlations.mean() > 0.5
+
+    def test_perfectly_coupled_pair(self):
+        counts = np.array([[1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0]])
+        assert pairwise_correlations(counts)[0] == pytest.approx(1.0)
+
+    def test_anticorrelated_pair(self):
+        counts = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        assert pairwise_correlations(counts)[0] == pytest.approx(-1.0)
+
+    def test_zero_variance_flows_skipped(self):
+        counts = np.array([[5.0, 5.0, 5.0], [1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        correlations = pairwise_correlations(counts)
+        assert correlations.size == 1  # only the two active flows pair up
+
+    def test_requires_two_flows(self):
+        with pytest.raises(ValueError):
+            pairwise_correlations(np.ones((1, 10)))
+
+    def test_mean_helper_zero_when_no_active_pairs(self):
+        counts = np.array([[5.0, 5.0], [7.0, 7.0]])
+        assert mean_pairwise_correlation(counts) == 0.0
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation([1.0, 5.0, 2.0, 8.0], max_lag=2)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_white_noise_near_zero(self):
+        series = np.random.default_rng(1).normal(size=5000)
+        acf = autocorrelation(series, max_lag=5)
+        assert np.all(np.abs(acf[1:]) < 0.05)
+
+    def test_alternating_series_negative_lag1(self):
+        acf = autocorrelation([1.0, -1.0] * 100, max_lag=1)
+        assert acf[1] < -0.9
+
+    def test_constant_series(self):
+        acf = autocorrelation([3.0] * 10, max_lag=3)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0])
+
+    def test_max_lag_clamped_to_length(self):
+        acf = autocorrelation([1.0, 2.0, 3.0], max_lag=50)
+        assert acf.size == 3  # lags 0..2
+
+
+class TestDependenceReport:
+    def test_independent_ratio_near_one(self):
+        report = dependence_report(independent_counts())
+        assert report.variance_excess_ratio == pytest.approx(1.0, abs=0.15)
+        assert abs(report.mean_correlation) < 0.02
+
+    def test_synchronized_ratio_far_above_one(self):
+        report = dependence_report(synchronized_counts())
+        assert report.variance_excess_ratio > 3.0
+        assert report.fraction_positive > 0.9
+
+    def test_describe_mentions_key_numbers(self):
+        text = dependence_report(independent_counts()).describe()
+        assert "pairwise corr" in text
+        assert "var(sum)/sum(var)" in text
+
+    def test_zero_variance_flows(self):
+        counts = np.ones((3, 10))
+        report = dependence_report(counts)
+        assert report.variance_excess_ratio == 1.0
+
+
+class TestBinFlowTimes:
+    def test_bins_per_flow(self):
+        times = {0: [0.1, 0.2, 1.5], 2: [0.9]}
+        counts = bin_flow_times(times, 1.0, 0.0, 2.0)
+        assert counts.shape == (2, 2)
+        assert list(counts[0]) == [2, 1]
+        assert list(counts[1]) == [1, 0]
+
+    def test_flows_sorted_by_id(self):
+        times = {5: [0.1], 1: [0.1, 0.2]}
+        counts = bin_flow_times(times, 1.0, 0.0, 1.0)
+        assert counts[0][0] == 2  # flow 1 first
+        assert counts[1][0] == 1
+
+    def test_empty_flow_all_zero(self):
+        counts = bin_flow_times({0: [], 1: [0.5]}, 1.0, 0.0, 1.0)
+        assert counts[0].sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bin_flow_times({0: [0.1]}, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            bin_flow_times({0: [0.1]}, 1.0, 0.0, 0.5)
+
+
+class TestScenarioIntegration:
+    def test_scenario_dependence_report(self):
+        from repro.experiments.config import paper_config
+        from repro.experiments.scenario import run_scenario
+
+        result = run_scenario(
+            paper_config(
+                protocol="reno",
+                n_clients=4,
+                duration=8.0,
+                record_flow_arrivals=True,
+            )
+        )
+        report = result.dependence()
+        assert report is not None
+        assert report.n_flows == 4
+
+    def test_dependence_none_without_recording(self):
+        from repro.experiments.config import paper_config
+        from repro.experiments.scenario import run_scenario
+
+        result = run_scenario(paper_config(protocol="reno", n_clients=4, duration=5.0))
+        assert result.dependence() is None

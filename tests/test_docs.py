@@ -1,0 +1,107 @@
+"""Documentation consistency checks.
+
+Cheap guards that the repository's documentation deliverables exist,
+cover what they promise, and stay consistent with the code (e.g. the
+Table-1 values quoted in DESIGN.md match the config defaults).
+"""
+
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name):
+    path = ROOT / name
+    assert path.exists(), f"missing {name}"
+    return path.read_text()
+
+
+class TestReadme:
+    def test_mentions_paper_and_quickstart(self):
+        text = read("README.md")
+        assert "ICDCS 2000" in text
+        assert "run_scenario" in text
+        assert "pytest tests/" in text
+        assert "benchmarks/" in text
+
+    def test_documents_every_example(self):
+        text = read("README.md")
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in text, f"README does not mention {example.name}"
+
+
+class TestDesign:
+    def test_has_experiment_index_for_every_figure(self):
+        text = read("DESIGN.md")
+        for artifact in ["Table 1", "Figure 2", "Figure 13"]:
+            assert artifact in text
+        for figure_id in ["F2", "F3", "F4", "F13"]:
+            assert f"| {figure_id} " in text
+
+    def test_documents_parameter_reconstruction(self):
+        text = read("DESIGN.md")
+        assert "Parameter reconstruction" in text
+        assert "OCR" in text
+
+    def test_quoted_table1_values_match_config(self):
+        from repro.experiments.config import ScenarioConfig
+
+        config = ScenarioConfig()
+        text = read("DESIGN.md")
+        assert "3 Mbps" in text
+        assert "**50 packets**" in text
+        assert config.buffer_capacity == 50
+        assert config.bottleneck_rate_bps == 3e6
+
+    def test_design_lists_every_bench_ablation(self):
+        text = read("DESIGN.md")
+        for bench in (ROOT / "benchmarks").glob("bench_ablation_*.py"):
+            assert bench.name in text, f"DESIGN.md does not mention {bench.name}"
+
+
+class TestExperiments:
+    def test_covers_every_paper_artifact(self):
+        text = read("EXPERIMENTS.md")
+        for artifact in [
+            "Table 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figures 5–9",
+            "Figures 10–12",
+            "Figure 13",
+        ]:
+            assert artifact in text, artifact
+
+    def test_has_deviations_section(self):
+        text = read("EXPERIMENTS.md")
+        assert "Deviations" in text
+
+
+class TestBenchmarkCoverage:
+    def test_a_bench_exists_for_every_paper_artifact(self):
+        names = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        assert "bench_table1_parameters.py" in names
+        assert "bench_fig02_cov.py" in names
+        assert "bench_fig03_throughput.py" in names
+        assert "bench_fig04_loss.py" in names
+        assert "bench_fig05_09_reno_cwnd.py" in names
+        assert "bench_fig10_12_vegas_cwnd.py" in names
+        assert "bench_fig13_timeout_ratio.py" in names
+
+    def test_public_modules_have_docstrings(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        missing = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            if not module.__doc__:
+                missing.append(module_info.name)
+        assert missing == []

@@ -1,0 +1,35 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (its top level only defines functions and
+constants; work happens under ``if __name__ == "__main__"``), and its
+``main`` is a callable.  Full executions are exercised manually / by
+the benchmark harness; importability catches API drift cheaply.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_defines_main(path):
+    module = load(path)
+    assert callable(module.main)
+    assert module.__doc__  # every example documents itself

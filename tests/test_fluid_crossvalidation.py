@@ -1,0 +1,158 @@
+"""Cross-validation: simulator steady state vs the fluid models.
+
+Single backlogged flows on a dedicated bottleneck have closed-form
+steady states; the packet simulator must land on them.  These tests tie
+the transport implementations to first-principles numbers rather than
+to their own behaviour.
+
+The topology uses a 20 ms bottleneck delay (BDP ~ 16.5 packets) so the
+fixed points are reached well inside the run; at the paper's 200 ms the
+convergence alone takes minutes of simulated time (and Vegas's
+well-known conservatism on long fat pipes dominates -- see the module
+test at the bottom, which documents that behaviour rather than hiding
+it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import sample_step_series, uniform_grid
+from repro.core.fluid import reno_fluid_throughput, vegas_equilibrium_window
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import run_scenario
+
+BOTTLENECK_DELAY = 0.02
+RTT_PROP = 2 * (0.002 + BOTTLENECK_DELAY)  # 0.044 s
+CAPACITY_PPS = 375.0
+BDP = CAPACITY_PPS * RTT_PROP  # ~16.5 packets
+
+
+def backlogged_config(protocol, **overrides):
+    """One flow, effectively infinite offered load, big windows."""
+    defaults = dict(
+        protocol=protocol,
+        n_clients=1,
+        traffic="cbr",
+        mean_gap=0.002,  # 500 pkt/s offered >> 375 pkt/s capacity
+        advertised_window=400,
+        duration=120.0,
+        seed=1,
+        trace_cwnd_flows=(0,),
+        bottleneck_delay=BOTTLENECK_DELAY,
+    )
+    defaults.update(overrides)
+    return paper_config(**defaults)
+
+
+def steady_cwnd(result, t_start=60.0, t_end=120.0, step=0.25):
+    grid = uniform_grid(t_start, t_end, step)
+    return sample_step_series(result.cwnd_traces[0], grid, initial=1.0)
+
+
+class TestVegasEquilibrium:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(backlogged_config("vegas"))
+
+    def test_window_converges_near_bdp_plus_backlog(self, result):
+        window = steady_cwnd(result)
+        low, high = vegas_equilibrium_window(
+            CAPACITY_PPS, RTT_PROP, alpha=1.0, beta=3.0
+        )
+        mean_window = float(window.mean())
+        # Within a couple of packets of the fluid fixed point (packet
+        # quantization and ACK clocking shift it slightly upward).
+        assert low - 1.0 <= mean_window <= high + 2.0
+
+    def test_window_is_flat_at_equilibrium(self, result):
+        window = steady_cwnd(result)
+        assert float(window.std()) < 1.0
+
+    def test_queue_parked_between_alpha_and_beta(self, result):
+        assert 0.5 <= result.mean_queue_length <= 4.0
+
+    def test_lossless_and_timeout_free(self, result):
+        assert result.gateway_drops == 0
+        assert result.timeouts == 0
+
+    def test_full_utilization(self, result):
+        assert result.utilization > 0.97
+
+
+class TestRenoSawtooth:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(backlogged_config("reno"))
+
+    def test_steady_mean_window_inside_sawtooth_band(self, result):
+        # The AIMD sawtooth oscillates between (BDP+B)/2 and BDP+B.
+        window = steady_cwnd(result)
+        peak = BDP + 50.0
+        assert peak / 2.0 * 0.8 <= float(window.mean()) <= peak * 1.0
+
+    def test_multiplicative_decrease_halves_the_window(self, result):
+        values = [v for _t, v in result.cwnd_traces[0]]
+        drops = [
+            (prev, curr)
+            for prev, curr in zip(values, values[1:])
+            if curr < prev * 0.9 and prev > 30
+        ]
+        assert drops, "expected multiplicative decreases"
+        halvings = 0
+        for prev, curr in drops:
+            if curr == 1.0:
+                continue  # a timeout collapse, not a halving
+            # ``prev`` may be the dupack-inflated window (up to ~1.5x the
+            # window at loss detection), so the deflation to ssthresh
+            # lands between prev/3.6 and prev/1.4.
+            assert prev / 3.6 <= curr <= prev / 1.4
+            halvings += 1
+        assert halvings >= 1
+
+    def test_losses_occur_and_recovery_is_mostly_fast(self, result):
+        assert result.gateway_drops > 0
+        assert result.fast_retransmits > result.timeouts
+
+    def test_high_utilization_despite_sawtooth(self, result):
+        # B ~ 3x BDP: the buffer rides out the halvings.
+        assert result.utilization > 0.95
+
+    def test_mathis_law_within_factor_three(self, result):
+        p = result.gateway_drops / max(result.gateway_arrivals, 1)
+        assert p > 0
+        # Effective RTT includes the standing queue.
+        rtt = RTT_PROP + result.mean_queue_length / CAPACITY_PPS
+        predicted = reno_fluid_throughput(rtt, p)
+        ratio = result.throughput_pps / predicted
+        assert 1 / 3 < ratio < 3
+
+
+class TestUdpSaturation:
+    def test_backlogged_udp_fills_pipe_exactly(self):
+        result = run_scenario(
+            backlogged_config("udp", advertised_window=20, duration=60.0)
+        )
+        # Deterministic 500 pkt/s offered into a 375 pkt/s bottleneck:
+        # full utilization, and the excess is dropped.
+        assert result.utilization == pytest.approx(1.0, abs=0.02)
+        loss_fraction = result.loss_percent / 100.0
+        assert loss_fraction == pytest.approx(1.0 - 375.0 / 500.0, abs=0.02)
+
+
+class TestVegasLongFatPipeConservatism:
+    def test_documented_underutilization_at_paper_scale(self):
+        """At the paper's 200 ms bottleneck (BDP ~ 151 packets) a single
+        Vegas flow underutilizes the link within the paper's 200 s test
+        time: the micro-queueing of its own ACK-clocked bursts inflates
+        the RTT enough for the backlog estimate to reach alpha long
+        before the window reaches the BDP -- Vegas's well-documented
+        conservatism on long fat pipes.  This is a characterization, not
+        a bug: the assertion pins the behaviour so a change to the Vegas
+        estimator shows up here."""
+        result = run_scenario(
+            backlogged_config(
+                "vegas", bottleneck_delay=0.2, duration=60.0
+            )
+        )
+        assert result.utilization < 0.8
+        assert result.gateway_drops <= 20  # conservative, nearly lossless

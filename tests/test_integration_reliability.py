@@ -1,0 +1,109 @@
+"""End-to-end reliability and conservation tests.
+
+TCP promises reliable in-order delivery; these tests stop the traffic
+sources early and let the simulation drain, asserting that *every*
+application packet eventually reaches the server exactly once -- across
+protocols, queue disciplines, and congestion levels.  A stuck
+retransmission timer, a go-back-N bug, or a sink buffering error all
+fail here.
+"""
+
+import pytest
+
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import Scenario
+
+
+def drain_run(protocol, queue, n_clients, generate_for, drain_until, seed=1):
+    """Generate traffic for ``generate_for`` seconds, then run quiet
+    until ``drain_until`` and return the scenario."""
+    config = paper_config(
+        protocol=protocol,
+        queue=queue,
+        n_clients=n_clients,
+        duration=drain_until,
+        seed=seed,
+    )
+    scenario = Scenario(config)
+    for source in scenario.sources:
+        source._stop_at = generate_for
+    scenario.sim.run(until=drain_until)
+    return scenario
+
+
+@pytest.mark.parametrize(
+    "protocol,queue",
+    [
+        ("reno", "fifo"),
+        ("reno", "red"),
+        ("tahoe", "fifo"),
+        ("newreno", "fifo"),
+        ("vegas", "fifo"),
+        ("vegas", "red"),
+        ("reno_delack", "fifo"),
+        ("reno_ecn", "red"),
+    ],
+)
+def test_tcp_delivers_everything_uncongested(protocol, queue):
+    scenario = drain_run(protocol, queue, n_clients=6, generate_for=5.0, drain_until=90.0)
+    for sender, sink, source in zip(
+        scenario.senders, scenario.sinks, scenario.sources
+    ):
+        assert sink.stats.unique_packets == source.generated
+        # In-order contiguous delivery: next_expected covers everything.
+        assert sink.next_expected == source.generated
+
+
+def test_tcp_delivers_everything_under_heavy_congestion():
+    # 50 clients is well past the knee: heavy loss, many timeouts --
+    # reliability must still hold once the sources go quiet.
+    scenario = drain_run("reno", "fifo", n_clients=50, generate_for=5.0, drain_until=400.0)
+    undelivered = 0
+    for sink, source in zip(scenario.sinks, scenario.sources):
+        undelivered += source.generated - sink.stats.unique_packets
+    assert undelivered == 0
+
+
+def test_vegas_delivers_everything_under_heavy_congestion():
+    scenario = drain_run("vegas", "fifo", n_clients=50, generate_for=5.0, drain_until=400.0)
+    for sink, source in zip(scenario.sinks, scenario.sources):
+        assert sink.stats.unique_packets == source.generated
+
+
+def test_gateway_conservation_across_configs():
+    for protocol, queue, n in [
+        ("udp", "fifo", 8),
+        ("reno", "fifo", 8),
+        ("reno", "red", 40),
+        ("vegas", "red", 40),
+    ]:
+        config = paper_config(
+            protocol=protocol, queue=queue, n_clients=n, duration=10.0, seed=2
+        )
+        scenario = Scenario(config)
+        scenario.sim.run(until=config.duration)
+        queue_obj = scenario.network.bottleneck_queue
+        stats = queue_obj.stats
+        assert stats.arrivals == stats.departures + stats.drops + len(queue_obj), (
+            protocol,
+            queue,
+            n,
+        )
+
+
+def test_no_duplicate_in_order_deliveries():
+    scenario = drain_run("reno", "fifo", n_clients=30, generate_for=4.0, drain_until=200.0)
+    for sink, source in zip(scenario.sinks, scenario.sources):
+        # unique_packets counts in-order progress; it can never exceed
+        # what the application generated.
+        assert sink.stats.unique_packets <= source.generated
+
+
+def test_sender_accounting_consistent():
+    scenario = drain_run("reno", "fifo", n_clients=30, generate_for=4.0, drain_until=200.0)
+    for sender in scenario.senders:
+        stats = sender.stats
+        assert stats.packets_sent >= stats.app_packets  # retransmits add
+        assert stats.retransmits == stats.packets_sent - stats.app_packets
+        assert sender.last_ack == sender.maxseq  # everything ACKed
+        assert not sender.rtx_timer.pending  # timer idle when drained

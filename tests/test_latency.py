@@ -1,0 +1,88 @@
+"""Tests for the application-to-ACK latency instrumentation."""
+
+import pytest
+
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import run_scenario
+from repro.transport.reno import RenoSender
+from repro.transport.tcp_base import TcpParams
+
+from tests.helpers import TcpHarness
+
+
+def make_harness(**overrides):
+    params = TcpParams(
+        initial_cwnd=overrides.pop("cwnd", 4.0),
+        initial_ssthresh=64.0,
+        **overrides,
+    )
+    return TcpHarness(RenoSender, {"params": params})
+
+
+class TestSenderLatency:
+    def test_latency_counted_on_cumulative_ack(self):
+        h = make_harness()
+        h.give_app_packets(3)
+        h.advance(0.5)
+        h.deliver_ack(2)
+        assert h.sender.stats.latency_count == 3
+        assert h.sender.stats.mean_latency == pytest.approx(0.5)
+        assert h.sender.stats.latency_max == pytest.approx(0.5)
+
+    def test_latency_includes_send_buffer_wait(self):
+        h = make_harness(cwnd=1.0)
+        h.give_app_packets(2)  # packet 1 waits for the window
+        h.advance(1.0)
+        h.deliver_ack(0)  # packet 1 goes out now
+        h.advance(1.0)
+        h.deliver_ack(1)
+        # Packet 1: generated at t=0, ACKed at t=2.
+        assert h.sender.stats.latency_max == pytest.approx(2.0)
+
+    def test_latency_spans_retransmissions(self):
+        h = make_harness(cwnd=1.0, initial_rto=1.0, min_rto=1.0)
+        h.give_app_packets(1)
+        h.advance(1.5)  # timeout + retransmit
+        h.advance(0.5)
+        h.deliver_ack(0)
+        assert h.sender.stats.latency_max == pytest.approx(2.0)
+
+    def test_mean_latency_zero_before_completion(self):
+        h = make_harness()
+        h.give_app_packets(2)
+        assert h.sender.stats.mean_latency == 0.0
+
+    def test_per_packet_accounting(self):
+        h = make_harness(cwnd=10.0)
+        h.give_app_packets(5)
+        h.advance(0.25)
+        h.deliver_ack(1)
+        h.advance(0.25)
+        h.deliver_ack(4)
+        stats = h.sender.stats
+        assert stats.latency_count == 5
+        # 2 packets at 0.25 s + 3 packets at 0.5 s.
+        assert stats.latency_sum == pytest.approx(2 * 0.25 + 3 * 0.5)
+
+
+class TestScenarioLatency:
+    def test_latency_reported_and_bounded(self):
+        result = run_scenario(paper_config(protocol="reno", n_clients=4, duration=8.0))
+        # Uncongested: latency is roughly one RTT per packet.
+        assert 0.3 < result.mean_latency < 2.0
+        assert result.max_latency >= result.mean_latency
+        for flow in result.per_flow:
+            assert flow.mean_latency > 0
+
+    def test_congestion_raises_latency(self):
+        light = run_scenario(
+            paper_config(protocol="reno", n_clients=10, duration=20.0)
+        )
+        heavy = run_scenario(
+            paper_config(protocol="reno", n_clients=50, duration=20.0)
+        )
+        assert heavy.mean_latency > light.mean_latency
+
+    def test_udp_has_no_latency_accounting(self):
+        result = run_scenario(paper_config(protocol="udp", n_clients=4, duration=5.0))
+        assert result.mean_latency == 0.0

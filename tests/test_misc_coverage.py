@@ -1,0 +1,158 @@
+"""Assorted coverage: package exports, monitors, small API corners."""
+
+import math
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.monitor import FlowArrivalMonitor
+from repro.net.node import Node
+from repro.net.packet import PacketFactory
+from repro.sim.engine import Simulator
+
+
+class TestPackageExports:
+    def test_top_level_api(self):
+        import repro
+
+        assert callable(repro.run_scenario)
+        assert callable(repro.paper_config)
+        assert callable(repro.coefficient_of_variation)
+        assert repro.__version__
+
+    def test_subpackage_all_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.experiments
+        import repro.net
+        import repro.sim
+        import repro.traffic
+        import repro.transport
+
+        for module in (
+            repro.analysis,
+            repro.core,
+            repro.experiments,
+            repro.net,
+            repro.sim,
+            repro.traffic,
+            repro.transport,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestFlowArrivalMonitor:
+    def test_records_per_flow(self):
+        monitor = FlowArrivalMonitor()
+        factory = PacketFactory()
+        monitor.on_packet(factory.data(0, "a", "b", 1000, seqno=0, now=0.0), 1.0)
+        monitor.on_packet(factory.data(2, "a", "b", 1000, seqno=0, now=0.0), 2.0)
+        monitor.on_packet(factory.data(0, "a", "b", 1000, seqno=1, now=0.0), 3.0)
+        assert monitor.times_by_flow == {0: [1.0, 3.0], 2: [2.0]}
+
+    def test_ignores_acks_and_warmup(self):
+        monitor = FlowArrivalMonitor(start_time=5.0)
+        factory = PacketFactory()
+        monitor.on_packet(factory.ack(0, "b", "a", ackno=0, now=0.0), 6.0)
+        monitor.on_packet(factory.data(0, "a", "b", 1000, seqno=0, now=0.0), 1.0)
+        assert monitor.times_by_flow == {}
+
+    def test_attach_to_interface(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        Link(sim, a, b, 1e6, 0.0)
+        a.set_default_route("b")
+        monitor = FlowArrivalMonitor().attach(a.interfaces["b"])
+        factory = PacketFactory()
+        import repro.transport.base as base
+
+        class Sink(base.Agent):
+            def receive(self, packet):
+                pass
+
+        Sink(sim, b, 3, "a", factory)
+        a.send(factory.data(3, "a", "b", 1000, seqno=0, now=0.0))
+        assert list(monitor.times_by_flow) == [3]
+
+
+class TestInterfaceState:
+    def test_busy_flag_during_transmission(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        Link(sim, a, b, 1e4, 0.0)  # 1000 B takes 0.8 s
+        a.set_default_route("b")
+        factory = PacketFactory()
+
+        class Sink:
+            def receive(self, packet):
+                pass
+
+        b.bind_flow(0, Sink())
+        a.send(factory.data(0, "a", "b", 1000, seqno=0, now=0.0))
+        iface = a.interfaces["b"]
+        assert iface.busy
+        sim.run(until=0.5)
+        assert iface.busy
+        sim.run(until=1.0)
+        assert not iface.busy
+
+
+class TestVegasEdgeCases:
+    def test_queue_estimate_without_base_rtt(self):
+        from repro.transport.vegas import VegasSender
+
+        from tests.helpers import TcpHarness
+
+        h = TcpHarness(VegasSender)
+        assert h.sender.queue_estimate(1.0) == 0.0
+        assert math.isinf(h.sender.base_rtt)
+
+    def test_epoch_reset_after_timeout(self):
+        from repro.transport.tcp_base import TcpParams
+        from repro.transport.vegas import VegasSender
+
+        from tests.helpers import TcpHarness
+
+        h = TcpHarness(
+            VegasSender,
+            {"params": TcpParams(initial_rto=1.0, min_rto=1.0)},
+        )
+        h.give_app_packets(10)
+        h.advance(1.5)
+        assert h.sender.in_slow_start
+        assert h.sender._epoch_marker == h.sender.last_ack + 1
+
+
+class TestMetricsTableColumns:
+    def test_custom_columns(self):
+        from repro.experiments.config import paper_config
+        from repro.experiments.results import ScenarioMetrics, metrics_table
+        from repro.experiments.scenario import run_scenario
+
+        metrics = ScenarioMetrics.from_result(
+            run_scenario(paper_config(protocol="udp", n_clients=2, duration=3.0))
+        )
+        table = metrics_table([metrics], columns=("label", "mean_latency"))
+        assert "mean_latency" in table
+
+    def test_unknown_column_raises(self):
+        from repro.experiments.config import paper_config
+        from repro.experiments.results import ScenarioMetrics, metrics_table
+        from repro.experiments.scenario import run_scenario
+
+        metrics = ScenarioMetrics.from_result(
+            run_scenario(paper_config(protocol="udp", n_clients=2, duration=3.0))
+        )
+        with pytest.raises(KeyError):
+            metrics_table([metrics], columns=("no_such_metric",))
+
+
+class TestTimeoutFastrtxRatio:
+    def test_ratio_edge_cases(self):
+        from repro.experiments.config import paper_config
+        from repro.experiments.scenario import run_scenario
+
+        result = run_scenario(paper_config(protocol="udp", n_clients=2, duration=3.0))
+        assert result.timeout_dupack_ratio == 0.0
+        assert result.timeout_fastrtx_ratio == 0.0

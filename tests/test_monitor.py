@@ -1,0 +1,128 @@
+"""Unit tests for measurement instruments."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link
+from repro.net.monitor import ArrivalMonitor, FlowStats, QueueMonitor
+from repro.net.node import Node
+from repro.net.packet import PacketFactory
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+
+
+def make_monitor(**kwargs):
+    return ArrivalMonitor(bin_width=1.0, **kwargs)
+
+
+def data_packet(factory, seq=0):
+    return factory.data(0, "a", "b", 1000, seqno=seq, now=0.0)
+
+
+def ack_packet(factory):
+    return factory.ack(0, "b", "a", ackno=0, now=0.0)
+
+
+class TestArrivalMonitor:
+    def test_bins_by_arrival_time(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        for t in [0.1, 0.2, 1.5, 3.7]:
+            monitor.on_packet(data_packet(factory), t)
+        assert list(monitor.counts()) == [2, 1, 0, 1]
+
+    def test_total(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        for t in [0.5, 1.5]:
+            monitor.on_packet(data_packet(factory), t)
+        assert monitor.total == 2
+
+    def test_acks_ignored_by_default(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        monitor.on_packet(ack_packet(factory), 0.5)
+        assert monitor.total == 0
+
+    def test_data_only_false_counts_acks(self):
+        monitor = ArrivalMonitor(bin_width=1.0, data_only=False)
+        factory = PacketFactory()
+        monitor.on_packet(ack_packet(factory), 0.5)
+        assert monitor.total == 1
+
+    def test_warmup_discards_early_arrivals(self):
+        monitor = ArrivalMonitor(bin_width=1.0, start_time=10.0)
+        factory = PacketFactory()
+        monitor.on_packet(data_packet(factory), 5.0)
+        monitor.on_packet(data_packet(factory), 10.5)
+        assert monitor.total == 1
+        assert list(monitor.counts()) == [1]
+
+    def test_counts_until_pads_trailing_empty_bins(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        monitor.on_packet(data_packet(factory), 0.5)
+        counts = monitor.counts(until=5.0)
+        assert len(counts) == 5
+        assert counts.sum() == 1
+
+    def test_counts_until_truncates(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        for t in [0.5, 4.5]:
+            monitor.on_packet(data_packet(factory), t)
+        assert list(monitor.counts(until=2.0)) == [1, 0]
+
+    def test_counts_until_before_start_is_empty(self):
+        monitor = ArrivalMonitor(bin_width=1.0, start_time=10.0)
+        assert monitor.counts(until=5.0).size == 0
+
+    def test_drop_hook_counts_data_drops(self):
+        monitor = make_monitor()
+        factory = PacketFactory()
+        monitor.on_drop(data_packet(factory), 1.0)
+        monitor.on_drop(ack_packet(factory), 1.0)
+        assert monitor.drops_seen == 1
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            ArrivalMonitor(bin_width=0.0)
+
+    def test_attach_hooks_into_interface(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        Link(sim, a, b, 1e6, 0.0, queue_ab=DropTailQueue(1))
+        factory = PacketFactory()
+        monitor = ArrivalMonitor(bin_width=1.0).attach(a.interfaces["b"])
+        a.set_default_route("b")
+        # Three sends into a capacity-1 queue: 1 transmitted, 1 queued, 1 dropped.
+        for i in range(3):
+            a.send(data_packet(factory, i))
+        assert monitor.total == 3
+        assert monitor.drops_seen == 1
+
+
+class TestQueueMonitor:
+    def test_periodic_samples(self):
+        sim = Simulator()
+        queue = DropTailQueue(10)
+        monitor = QueueMonitor(sim, queue, period=1.0)
+        factory = PacketFactory()
+        sim.schedule(0.5, lambda: queue.enqueue(data_packet(factory), 0.5))
+        sim.run(until=3.0)
+        times, lengths, averages = monitor.as_arrays()
+        assert list(times) == [0.0, 1.0, 2.0, 3.0]
+        assert list(lengths) == [0, 1, 1, 1]
+        # DropTail has no EWMA; averages mirror the instantaneous length.
+        assert list(averages) == [0.0, 1.0, 1.0, 1.0]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            QueueMonitor(Simulator(), DropTailQueue(1), period=0.0)
+
+
+def test_flow_stats_defaults():
+    stats = FlowStats(flow_id=7)
+    assert stats.flow_id == 7
+    assert stats.packets_received == 0
+    assert stats.arrival_times == []

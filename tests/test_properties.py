@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.burstiness import aggregate_counts
+from repro.core.cov import bin_counts, coefficient_of_variation
+from repro.core.theory import poisson_aggregate_cov
+from repro.net.packet import PacketFactory
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.rng import derive_seed
+from repro.analysis.timeseries import sample_step_series
+
+
+# ----------------------------------------------------------------------
+# Simulator: event ordering
+# ----------------------------------------------------------------------
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+    )
+)
+def test_events_always_execute_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    until=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_run_until_never_executes_future_events(delays, until):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run(until=until)
+    assert all(d <= until for d in fired)
+    assert sim.now == max([until] + [d for d in fired])
+
+
+# ----------------------------------------------------------------------
+# Binning: conservation and cov invariants
+# ----------------------------------------------------------------------
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=99.9, allow_nan=False),
+        min_size=0,
+        max_size=200,
+    ),
+    width=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+)
+def test_bin_counts_conserve_events_in_window(times, width):
+    counts = bin_counts(times, width, t_start=0.0, t_end=100.0)
+    n_bins = int(100.0 / width)
+    in_window = sum(1 for t in times if t < n_bins * width)
+    assert counts.sum() == in_window
+    assert (counts >= 0).all()
+
+
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100)
+)
+def test_cov_nonnegative_and_zero_iff_constant(counts):
+    value = coefficient_of_variation(counts)
+    assert value >= 0.0
+    if len(set(counts)) == 1:
+        assert value == 0.0
+
+
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=100),
+    scale=st.integers(min_value=1, max_value=50),
+)
+def test_cov_scale_invariant(counts, scale):
+    base = coefficient_of_variation(counts)
+    scaled = coefficient_of_variation([scale * c for c in counts])
+    assert math.isclose(base, scaled, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(
+    counts=st.lists(st.integers(min_value=0, max_value=100), min_size=4, max_size=256),
+    factor=st.integers(min_value=1, max_value=8),
+)
+def test_aggregation_conserves_mass_over_whole_groups(counts, factor):
+    aggregated = aggregate_counts(counts, factor)
+    n_groups = len(counts) // factor
+    assert aggregated.sum() == sum(counts[: n_groups * factor])
+
+
+@given(
+    n=st.integers(min_value=1, max_value=1000),
+    rate=st.floats(min_value=0.01, max_value=1000.0, allow_nan=False),
+    width=st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+)
+def test_poisson_cov_positive_and_clt_monotone(n, rate, width):
+    cov_n = poisson_aggregate_cov(n, rate, width)
+    cov_2n = poisson_aggregate_cov(2 * n, rate, width)
+    assert cov_n > 0
+    assert cov_2n < cov_n
+    assert math.isclose(cov_2n, cov_n / math.sqrt(2), rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Queues: capacity and conservation
+# ----------------------------------------------------------------------
+@given(
+    capacity=st.integers(min_value=1, max_value=20),
+    operations=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+def test_droptail_capacity_and_conservation(capacity, operations):
+    queue = DropTailQueue(capacity)
+    factory = PacketFactory()
+    seq = 0
+    dequeued = 0
+    for is_enqueue in operations:
+        if is_enqueue:
+            queue.enqueue(factory.data(0, "a", "b", 100, seqno=seq, now=0.0), 0.0)
+            seq += 1
+        else:
+            if queue.dequeue(0.0) is not None:
+                dequeued += 1
+        assert len(queue) <= capacity
+    stats = queue.stats
+    assert stats.arrivals == stats.departures + stats.drops + len(queue)
+    assert stats.departures == dequeued
+
+
+@given(
+    packets=st.lists(st.integers(min_value=1, max_value=9999), min_size=1, max_size=50)
+)
+def test_droptail_preserves_fifo_order(packets):
+    queue = DropTailQueue(len(packets))
+    factory = PacketFactory()
+    for seq in packets:
+        queue.enqueue(factory.data(0, "a", "b", 100, seqno=seq, now=0.0), 0.0)
+    out = []
+    while True:
+        packet = queue.dequeue(0.0)
+        if packet is None:
+            break
+        out.append(packet.seqno)
+    assert out == packets
+
+
+# ----------------------------------------------------------------------
+# RNG: determinism
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=2**31), name=st.text(max_size=30))
+def test_derive_seed_deterministic_and_64bit(seed, name):
+    a = derive_seed(seed, name)
+    assert a == derive_seed(seed, name)
+    assert 0 <= a < 2**64
+
+
+# ----------------------------------------------------------------------
+# Step series sampling
+# ----------------------------------------------------------------------
+@given(
+    log=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        ),
+        max_size=30,
+    ).map(lambda pairs: sorted(pairs, key=lambda p: p[0])),
+    queries=st.lists(
+        st.floats(min_value=-10.0, max_value=110.0, allow_nan=False), max_size=30
+    ),
+)
+def test_sampled_values_come_from_log_or_initial(log, queries):
+    initial = 42.0
+    values = sample_step_series(log, queries, initial=initial)
+    allowed = {initial} | {v for _, v in log}
+    assert all(v in allowed for v in values)

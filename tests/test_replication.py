@@ -1,0 +1,80 @@
+"""Tests for replicated (multi-seed) experiments."""
+
+import pytest
+
+from repro.experiments.config import paper_config
+from repro.experiments.replication import (
+    DEFAULT_METRICS,
+    compare,
+    replicate,
+)
+
+
+@pytest.fixture(scope="module")
+def reno_replication():
+    config = paper_config(protocol="reno", n_clients=4, duration=6.0)
+    return replicate(config, n_replicas=3, base_seed=10)
+
+
+class TestReplicate:
+    def test_runs_requested_replicas(self, reno_replication):
+        assert len(reno_replication.replicas) == 3
+        assert reno_replication.seeds == (10, 11, 12)
+
+    def test_replicas_differ(self, reno_replication):
+        covs = {replica.cov for replica in reno_replication.replicas}
+        assert len(covs) > 1  # different seeds, different sample paths
+
+    def test_summaries_cover_default_metrics(self, reno_replication):
+        assert set(reno_replication.summaries) == set(DEFAULT_METRICS)
+
+    def test_summary_statistics_consistent(self, reno_replication):
+        summary = reno_replication.summary("cov")
+        values = [replica.cov for replica in reno_replication.replicas]
+        assert summary.mean == pytest.approx(sum(values) / len(values))
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.values == values
+
+    def test_render_table(self, reno_replication):
+        table = reno_replication.render_table()
+        assert "cov" in table
+        assert "replicas" in table
+
+    def test_single_replica_degenerate_interval(self):
+        config = paper_config(protocol="udp", n_clients=2, duration=3.0)
+        result = replicate(config, n_replicas=1)
+        summary = result.summary("cov")
+        assert summary.ci_low == summary.ci_high == summary.mean
+        assert summary.std == 0.0
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            replicate(paper_config(), n_replicas=0)
+
+    def test_deterministic_given_base_seed(self):
+        config = paper_config(protocol="udp", n_clients=2, duration=3.0)
+        a = replicate(config, n_replicas=2, base_seed=5)
+        b = replicate(config, n_replicas=2, base_seed=5)
+        assert a.summary("cov").mean == b.summary("cov").mean
+
+
+class TestCompare:
+    def test_difference_sign(self):
+        heavy = replicate(
+            paper_config(protocol="udp", n_clients=8, duration=4.0), n_replicas=2
+        )
+        light = replicate(
+            paper_config(protocol="udp", n_clients=2, duration=4.0), n_replicas=2
+        )
+        difference, _ = compare(heavy, light, "throughput_packets")
+        assert difference > 0
+
+    def test_disjoint_detection(self):
+        heavy = replicate(
+            paper_config(protocol="udp", n_clients=8, duration=4.0), n_replicas=3
+        )
+        light = replicate(
+            paper_config(protocol="udp", n_clients=2, duration=4.0), n_replicas=3
+        )
+        _, disjoint = compare(heavy, light, "throughput_packets")
+        assert disjoint  # 4x the load: no overlap possible

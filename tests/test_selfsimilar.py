@@ -1,0 +1,84 @@
+"""Unit tests for the Hurst-parameter estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.selfsimilar import (
+    hurst_aggregate_variance,
+    hurst_rescaled_range,
+    variance_time_plot,
+)
+
+
+def fgn_like_series(hurst, n=8192, seed=0):
+    """A cheap long-memory surrogate: fractional Gaussian noise via
+    spectral synthesis (power-law spectrum ~ f^-(2H-1))."""
+    rng = np.random.default_rng(seed)
+    freqs = np.fft.rfftfreq(n)[1:]
+    amplitude = freqs ** (-(2 * hurst - 1) / 2.0)
+    phases = rng.uniform(0, 2 * np.pi, size=freqs.size)
+    spectrum = np.concatenate([[0.0], amplitude * np.exp(1j * phases)])
+    series = np.fft.irfft(spectrum, n=n)
+    return (series - series.mean()) / series.std() + 10.0
+
+
+class TestVarianceTime:
+    def test_iid_slope_minus_one(self):
+        counts = np.random.default_rng(1).poisson(20.0, size=8192)
+        ms, variances = variance_time_plot(counts)
+        slope = np.polyfit(np.log(ms), np.log(variances), 1)[0]
+        assert slope == pytest.approx(-1.0, abs=0.15)
+
+    def test_skips_unusable_scales(self):
+        ms, _variances = variance_time_plot([1.0, 2.0] * 8, factors=(1, 2, 64))
+        assert 64 not in ms
+
+    def test_empty_for_constant_series(self):
+        ms, variances = variance_time_plot([5.0] * 128)
+        assert ms.size == 0
+
+
+class TestAggregateVarianceHurst:
+    def test_iid_counts_near_half(self):
+        counts = np.random.default_rng(2).poisson(20.0, size=8192)
+        hurst = hurst_aggregate_variance(counts)
+        assert 0.4 <= hurst <= 0.6
+
+    def test_long_memory_series_higher(self):
+        smooth = hurst_aggregate_variance(
+            np.random.default_rng(3).normal(10, 1, size=8192)
+        )
+        rough = hurst_aggregate_variance(fgn_like_series(0.9, seed=3))
+        assert rough > smooth + 0.15
+
+    def test_short_series_nan(self):
+        assert math.isnan(hurst_aggregate_variance([1.0, 2.0, 3.0]))
+
+    def test_clamped_to_unit_interval(self):
+        hurst = hurst_aggregate_variance(fgn_like_series(0.95, seed=4))
+        assert 0.0 <= hurst <= 1.0
+
+
+class TestRescaledRange:
+    def test_iid_near_half(self):
+        counts = np.random.default_rng(5).normal(10, 2, size=8192)
+        hurst = hurst_rescaled_range(counts)
+        # R/S has a known small-sample upward bias; accept a wide band.
+        assert 0.4 <= hurst <= 0.7
+
+    def test_long_memory_higher_than_iid(self):
+        iid = hurst_rescaled_range(np.random.default_rng(6).normal(0, 1, 8192))
+        lrd = hurst_rescaled_range(fgn_like_series(0.9, seed=6))
+        assert lrd > iid
+
+    def test_short_series_nan(self):
+        assert math.isnan(hurst_rescaled_range([1.0] * 10))
+
+    def test_ordering_between_estimators_consistent(self):
+        series = fgn_like_series(0.85, seed=7)
+        h_av = hurst_aggregate_variance(series)
+        h_rs = hurst_rescaled_range(series)
+        assert h_av > 0.6
+        assert h_rs > 0.6

@@ -1,0 +1,199 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_executes_callback():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "low", priority=1)
+    sim.schedule(1.0, order.append, "high", priority=0)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+
+
+def test_run_until_includes_events_exactly_at_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, 2)
+    sim.run(until=2.0)
+    assert fired == [2]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_run_can_be_resumed():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run(until=2.0)
+    sim.run(until=4.0)
+    assert fired == [1, 3]
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    sim.run()
+
+
+def test_events_scheduled_during_execution_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 1)
+    sim.run()
+    assert fired == [1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_callback_scheduling_at_current_time_runs_this_pass():
+    sim = Simulator()
+    fired = []
+
+    def now_event():
+        sim.schedule(0.0, fired.append, "inner")
+
+    sim.schedule(1.0, now_event)
+    sim.run()
+    assert fired == ["inner"]
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.peek_time() == 2.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_callbacks_see_correct_now():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.25, lambda: seen.append(sim.now))
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.25, 2.5]

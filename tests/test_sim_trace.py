@@ -1,0 +1,75 @@
+"""Unit tests for the trace recorder."""
+
+import csv
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_records_all_categories_by_default():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", x=1)
+    trace.record(2.0, "b", y=2)
+    assert len(trace) == 2
+
+
+def test_enabled_filter_drops_other_categories():
+    trace = TraceRecorder(enabled=["keep"])
+    trace.record(1.0, "keep", x=1)
+    trace.record(2.0, "drop", x=2)
+    assert len(trace) == 1
+    assert trace.rows()[0].category == "keep"
+
+
+def test_enable_disable():
+    trace = TraceRecorder(enabled=[])
+    assert not trace.wants("a")
+    trace.enable("a")
+    assert trace.wants("a")
+    trace.record(1.0, "a")
+    trace.disable("a")
+    trace.record(2.0, "a")
+    assert len(trace) == 1
+
+
+def test_rows_filtered_by_category():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", v=1)
+    trace.record(2.0, "b", v=2)
+    trace.record(3.0, "a", v=3)
+    assert [r.time for r in trace.rows("a")] == [1.0, 3.0]
+
+
+def test_row_get_with_default():
+    trace = TraceRecorder()
+    trace.record(1.0, "a", v=1)
+    row = trace.rows()[0]
+    assert row.get("v") == 1
+    assert row.get("missing", 9) == 9
+
+
+def test_clear():
+    trace = TraceRecorder()
+    trace.record(1.0, "a")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_iteration():
+    trace = TraceRecorder()
+    trace.record(1.0, "a")
+    trace.record(2.0, "b")
+    assert [row.category for row in trace] == ["a", "b"]
+
+
+def test_to_csv_union_of_fields(tmp_path):
+    trace = TraceRecorder()
+    trace.record(1.0, "a", x=1)
+    trace.record(2.0, "a", y=2)
+    path = tmp_path / "trace.csv"
+    written = trace.to_csv(str(path))
+    assert written == 2
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["time", "category", "x", "y"]
+    assert rows[1] == ["1.0", "a", "1", ""]
+    assert rows[2] == ["2.0", "a", "", "2"]

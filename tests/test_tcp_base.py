@@ -1,0 +1,266 @@
+"""Unit tests for the shared TCP sender machinery (via RenoSender)."""
+
+import pytest
+
+from repro.transport.reno import RenoSender
+from repro.transport.tcp_base import TcpParams
+
+from tests.helpers import TcpHarness
+
+
+def make_harness(**param_overrides):
+    params = TcpParams(**param_overrides)
+    return TcpHarness(RenoSender, {"params": params})
+
+
+class TestWindowGating:
+    def test_initial_cwnd_sends_one_packet(self):
+        h = make_harness()
+        h.give_app_packets(10)
+        assert h.sent_seqnos() == [0]
+
+    def test_no_data_no_send(self):
+        h = make_harness()
+        assert h.sent_seqnos() == []
+
+    def test_app_limited_sends_everything_within_window(self):
+        h = make_harness(initial_cwnd=10.0)
+        h.give_app_packets(3)
+        assert h.sent_seqnos() == [0, 1, 2]
+
+    def test_window_limits_outstanding(self):
+        h = make_harness(initial_cwnd=4.0)
+        h.give_app_packets(100)
+        assert h.sent_seqnos() == [0, 1, 2, 3]
+        assert h.sender.outstanding == 4
+
+    def test_advertised_window_caps_cwnd(self):
+        h = make_harness(initial_cwnd=50.0, advertised_window=6)
+        h.give_app_packets(100)
+        assert len(h.sent_seqnos()) == 6
+
+    def test_ack_slides_window(self):
+        h = make_harness(initial_cwnd=2.0, initial_ssthresh=2.0)
+        h.give_app_packets(100)
+        h.deliver_ack(0)
+        # cwnd opened by congestion avoidance; at least one more packet out.
+        assert h.sender.last_ack == 0
+        assert max(h.sent_seqnos()) >= 2
+
+    def test_send_buffer_backlog(self):
+        h = make_harness(initial_cwnd=2.0)
+        h.give_app_packets(10)
+        assert h.sender.send_buffer_backlog == 8
+
+
+class TestSlowStartAndCongestionAvoidance:
+    def test_slow_start_increments_cwnd_per_ack(self):
+        h = make_harness()
+        h.give_app_packets(100)
+        assert h.sender.cwnd == 1.0
+        h.deliver_ack(0)
+        assert h.sender.cwnd == 2.0
+        h.deliver_ack(1)
+        h.deliver_ack(2)
+        assert h.sender.cwnd == 4.0
+
+    def test_congestion_avoidance_linear(self):
+        h = make_harness(initial_cwnd=4.0, initial_ssthresh=2.0)
+        h.give_app_packets(100)
+        h.deliver_ack(0)
+        assert h.sender.cwnd == pytest.approx(4.25)
+        h.deliver_ack(1)
+        assert h.sender.cwnd == pytest.approx(4.25 + 1 / 4.25)
+
+    def test_cwnd_never_exceeds_advertised_window(self):
+        h = make_harness(advertised_window=5)
+        h.give_app_packets(1000)
+        for seq in range(100):
+            h.deliver_ack(seq)
+        assert h.sender.cwnd <= 5.0
+
+
+class TestRttEstimation:
+    def test_first_sample_initializes_srtt(self):
+        h = make_harness()
+        h.give_app_packets(10)
+        h.advance(0.5)
+        h.deliver_ack(0)
+        assert h.sender.srtt == pytest.approx(0.5)
+        assert h.sender.rttvar == pytest.approx(0.25)
+
+    def test_jacobson_update(self):
+        h = make_harness()
+        h.give_app_packets(100)
+        h.advance(0.4)
+        h.deliver_ack(0)  # srtt=0.4, rttvar=0.2
+        # next timed packet is the first one sent after the ack
+        h.advance(0.8)  # its RTT sample = 0.8
+        h.deliver_ack(h.sender.maxseq)
+        # err = 0.8 - 0.4 = 0.4; srtt = 0.4 + 0.4/8 = 0.45
+        assert h.sender.srtt == pytest.approx(0.45)
+        # rttvar = 0.2 + (0.4 - 0.2)/4 = 0.25
+        assert h.sender.rttvar == pytest.approx(0.25)
+
+    def test_rto_floor_and_ceiling(self):
+        h = make_harness(min_rto=1.0, max_rto=4.0)
+        h.give_app_packets(10)
+        assert h.sender.rto >= 1.0
+        h.sender.backoff = 1000.0
+        assert h.sender.rto == 4.0
+
+    def test_rto_uses_tick_granularity(self):
+        h = make_harness(tick=0.5, min_rto=0.1)
+        h.give_app_packets(10)
+        h.advance(0.3)
+        h.deliver_ack(0)
+        # srtt + 4*rttvar = 0.3 + 0.6 = 0.9, rounded up to 1.0.
+        assert h.sender.rto == pytest.approx(1.0)
+
+    def test_karn_no_sample_from_retransmission(self):
+        h = make_harness(initial_rto=1.0, min_rto=1.0)
+        h.give_app_packets(1)
+        h.advance(1.5)  # timeout fires, packet 0 retransmitted
+        assert h.sender.stats.timeouts == 1
+        samples_before = h.sender.stats.rtt_samples
+        h.deliver_ack(0)  # ACK of a retransmitted packet
+        assert h.sender.stats.rtt_samples == samples_before
+
+    def test_backoff_reset_on_new_sample(self):
+        h = make_harness(initial_rto=1.0, min_rto=0.5)
+        h.give_app_packets(2)
+        h.advance(1.5)  # timeout doubles backoff
+        assert h.sender.backoff == 2.0
+        h.advance(0.2)
+        h.deliver_ack(h.sender.maxseq)
+        h.give_app_packets(1)  # untimed? new packet gets timed
+        h.advance(0.3)
+        h.deliver_ack(h.sender.maxseq)
+        assert h.sender.backoff == 1.0
+
+
+class TestTimeout:
+    def test_timeout_collapses_window_and_retransmits(self):
+        h = make_harness(initial_cwnd=4.0, initial_rto=1.0)
+        h.give_app_packets(10)
+        assert h.sent_seqnos() == [0, 1, 2, 3]
+        h.advance(1.5)
+        assert h.sender.stats.timeouts == 1
+        assert h.sender.cwnd == 1.0
+        # Go-back-N: packet 0 retransmitted.
+        assert h.sent_seqnos()[-1] == 0
+        assert h.transmitted[-1].is_retransmit
+
+    def test_timeout_halves_ssthresh(self):
+        h = make_harness(initial_cwnd=8.0, initial_rto=1.0)
+        h.give_app_packets(100)
+        h.advance(1.5)
+        assert h.sender.ssthresh == 4.0
+
+    def test_ssthresh_floor_of_two(self):
+        h = make_harness(initial_cwnd=1.0, initial_rto=1.0)
+        h.give_app_packets(10)
+        h.advance(1.5)
+        assert h.sender.ssthresh == 2.0
+
+    def test_repeated_timeouts_backoff_exponentially(self):
+        h = make_harness(initial_rto=1.0, min_rto=1.0)
+        h.give_app_packets(1)
+        h.advance(1.5)
+        assert h.sender.backoff == 2.0
+        h.advance(2.5)
+        assert h.sender.backoff == 4.0
+
+    def test_backoff_capped(self):
+        h = make_harness(initial_rto=0.1, min_rto=0.1, max_backoff=8.0)
+        h.give_app_packets(1)
+        h.advance(100.0)
+        assert h.sender.backoff == 8.0
+
+    def test_timer_cancelled_when_all_acked(self):
+        h = make_harness()
+        h.give_app_packets(1)
+        h.deliver_ack(0)
+        assert not h.sender.rtx_timer.pending
+        h.advance(100.0)
+        assert h.sender.stats.timeouts == 0
+
+    def test_timer_restarts_while_outstanding(self):
+        h = make_harness(initial_cwnd=3.0)
+        h.give_app_packets(5)
+        h.deliver_ack(0)
+        assert h.sender.rtx_timer.pending
+
+
+class TestAckProcessing:
+    def test_stale_acks_ignored(self):
+        h = make_harness(initial_cwnd=5.0)
+        h.give_app_packets(10)
+        h.deliver_ack(2)
+        cwnd = h.sender.cwnd
+        h.deliver_ack(1)  # stale
+        assert h.sender.cwnd == cwnd
+        assert h.sender.last_ack == 2
+
+    def test_dupack_counted_only_with_outstanding_data(self):
+        h = make_harness()
+        h.give_app_packets(1)
+        h.deliver_ack(0)  # nothing outstanding now
+        h.deliver_ack(0)
+        assert h.sender.dupacks == 0
+
+    def test_dupacks_reset_on_new_ack(self):
+        h = make_harness(initial_cwnd=5.0)
+        h.give_app_packets(10)
+        h.deliver_ack(0)
+        h.deliver_ack(0)
+        h.deliver_ack(0)
+        assert h.sender.dupacks == 2
+        h.deliver_ack(1)
+        assert h.sender.dupacks == 0
+
+    def test_cumulative_ack_advances_t_seqno(self):
+        h = make_harness(initial_cwnd=1.0, initial_rto=1.0)
+        h.give_app_packets(5)
+        h.advance(1.5)  # timeout rewinds t_seqno to 0
+        h.deliver_ack(3)  # receiver had buffered 1-3
+        assert h.sender.t_seqno > 3
+
+    def test_data_packets_ignored_by_sender(self):
+        h = make_harness()
+        h.give_app_packets(1)
+        data = h.factory.data(0, "x", "capture", 1000, seqno=5, now=0.0)
+        h.sender.receive(data)
+        assert h.sender.last_ack == -1
+
+
+class TestCwndTracing:
+    def test_trace_records_changes(self):
+        h = TcpHarness(RenoSender, {"trace_cwnd": True})
+        h.give_app_packets(100)
+        h.deliver_ack(0)
+        h.deliver_ack(1)
+        values = [v for _, v in h.sender.cwnd_log]
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_no_trace_by_default(self):
+        h = make_harness()
+        h.give_app_packets(10)
+        h.deliver_ack(0)
+        assert h.sender.cwnd_log == []
+
+
+class TestParamsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(packet_size=0),
+            dict(advertised_window=0),
+            dict(min_rto=0.0),
+            dict(min_rto=2.0, max_rto=1.0),
+            dict(tick=0.0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TcpParams(**kwargs).validate()
