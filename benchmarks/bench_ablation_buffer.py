@@ -10,7 +10,6 @@ absorb the slow-start bursts.
 from conftest import bench_base_config, bench_duration, emit
 
 from repro.analysis.tables import format_table
-from repro.experiments.results import ScenarioMetrics
 from repro.experiments.sweep import run_many
 
 BUFFERS = (12, 25, 50, 100, 200)

@@ -10,7 +10,6 @@ Paper shape to reproduce:
 * Reno/RED is the worst performer.
 """
 
-import math
 
 from conftest import bench_base_config, emit, get_paper_sweep
 

@@ -10,7 +10,7 @@ analytic c.o.v. of the offered Poisson aggregate.
 Run:  python examples/quickstart.py
 """
 
-from repro import paper_config, run_scenario
+from repro import paper_config
 from repro.experiments.scenario import Scenario
 
 

@@ -6,11 +6,17 @@
   simulation and extracts every metric the paper reports.
 * :mod:`repro.experiments.sweep` -- runs grids of scenarios, optionally
   across processes.
+* :mod:`repro.experiments.runner` -- fault-tolerant sweep executor with
+  timeouts, retries, and crash isolation.
+* :mod:`repro.experiments.cache` -- content-addressed on-disk result
+  cache keyed by :meth:`ScenarioConfig.config_digest`.
+* :mod:`repro.experiments.runlog` -- JSONL progress telemetry.
 * :mod:`repro.experiments.figures` -- one function per paper figure.
 * :mod:`repro.experiments.results` -- flat result records and rendering.
 * :mod:`repro.experiments.cli` -- the ``repro-tcp`` command-line tool.
 """
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import (
     PROTOCOLS,
     QUEUES,
@@ -18,6 +24,8 @@ from repro.experiments.config import (
     paper_config,
 )
 from repro.experiments.results import ScenarioMetrics
+from repro.experiments.runlog import Progress, RunLog, read_runlog
+from repro.experiments.runner import SweepRunner, run_sweep
 from repro.experiments.scenario import Scenario, ScenarioResult, run_scenario
 from repro.experiments.sweep import run_many
 from repro.experiments.figures import (
@@ -35,11 +43,17 @@ __all__ = [
     "FIGURE2_PROTOCOLS",
     "FigureData",
     "PROTOCOLS",
+    "Progress",
     "QUEUES",
+    "ResultCache",
+    "RunLog",
     "Scenario",
     "ScenarioConfig",
     "ScenarioMetrics",
     "ScenarioResult",
+    "SweepRunner",
+    "read_runlog",
+    "run_sweep",
     "cwnd_trace_experiment",
     "figure2_cov",
     "figure3_throughput",

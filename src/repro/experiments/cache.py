@@ -1,0 +1,121 @@
+"""Content-addressed on-disk cache of sweep results.
+
+Every physics-relevant field of a :class:`ScenarioConfig` (plus a
+schema version) is hashed into a stable digest
+(:meth:`ScenarioConfig.config_digest`); the digest keys one JSON file
+holding the flat :class:`ScenarioMetrics` of that run.  Because the
+simulator is seed-deterministic, a digest hit *is* the result: an
+interrupted sweep re-run against the same cache directory resumes with
+instant hits for every finished cell, and regenerating a figure twice
+costs one sweep, not two.
+
+The cache is safe against concurrent writers (atomic ``os.replace`` of
+a same-directory temp file) and against corruption (an unreadable or
+malformed entry is treated as a miss and overwritten on the next put).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from repro.experiments.config import CONFIG_SCHEMA_VERSION, ScenarioConfig
+from repro.experiments.results import ScenarioMetrics
+
+#: Cache file format version, independent of the config schema version.
+CACHE_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """A directory of ``<config_digest>.json`` metric records."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, config: ScenarioConfig) -> str:
+        """The entry path a configuration maps to."""
+        return os.path.join(self.directory, config.config_digest() + ".json")
+
+    def get(self, config: ScenarioConfig) -> Optional[ScenarioMetrics]:
+        """The cached metrics for ``config``, or None on a miss.
+
+        Error placeholders are never returned (a failed cell should be
+        re-attempted on the next run, not resumed), and corrupt or
+        incompatible entries read as misses.
+        """
+        path = self.path_for(config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema_version") != CONFIG_SCHEMA_VERSION:
+                return None
+            metrics = ScenarioMetrics.from_dict(payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if metrics.failed:
+            return None
+        return metrics
+
+    def put(self, config: ScenarioConfig, metrics: ScenarioMetrics) -> str:
+        """Store ``metrics`` under ``config``'s digest; returns the path.
+
+        The write is atomic: concurrent writers of the same cell leave
+        one complete entry, never a torn file.
+        """
+        path = self.path_for(config)
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "schema_version": CONFIG_SCHEMA_VERSION,
+            "digest": config.config_digest(),
+            "config": config.digest_payload(),
+            "metrics": metrics.as_dict(),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.directory,
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if name.endswith(".json"):
+                yield os.path.join(self.directory, name)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def __contains__(self, config: ScenarioConfig) -> bool:
+        return self.get(config) is not None
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

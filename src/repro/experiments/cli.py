@@ -8,7 +8,11 @@ Subcommands regenerate each paper artifact from the terminal::
     repro-tcp fig3 / fig4 / fig13
     repro-tcp cwnd --protocol vegas --clients 30
 
-Sweeps accept ``--csv PATH`` / ``--json PATH`` to persist results.
+Sweeps accept ``--csv PATH`` / ``--json PATH`` to persist results, plus
+execution-backbone flags: ``--cache-dir`` / ``--resume`` (content-
+addressed result cache; interrupted sweeps pick up where they stopped),
+``--timeout`` / ``--retries`` (kill and retry hung or crashed workers),
+and ``--run-log`` / ``--progress`` (JSONL telemetry / live counters).
 """
 
 from __future__ import annotations
@@ -22,7 +26,6 @@ from repro.analysis.asciiplot import ascii_step_plot
 from repro.analysis.tables import format_table
 from repro.experiments.config import paper_config, table1_rows
 from repro.experiments.figures import (
-    FIGURE2_PROTOCOLS,
     FigureData,
     cwnd_trace_experiment,
     figure2_cov,
@@ -50,12 +53,81 @@ def parse_range(spec: str) -> List[int]:
     return [int(part) for part in spec.split(",") if part]
 
 
+#: Default cache directory used by ``--resume`` when ``--cache-dir``
+#: was not given explicitly.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _positive_float(value: str) -> float:
+    parsed = float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=None, help="run length, s")
     parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
     parser.add_argument("--processes", type=int, default=None, help="worker count")
     parser.add_argument("--csv", default=None, help="write results to CSV")
     parser.add_argument("--json", default=None, help="write results to JSON")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (hits skip re-runs)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"resume an interrupted sweep from the cache "
+        f"(defaults --cache-dir to {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        help="per-scenario wall-clock limit, seconds (hung workers are killed)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=1,
+        help="extra attempts per cell after a crash/timeout (default 1)",
+    )
+    parser.add_argument(
+        "--run-log",
+        default=None,
+        help="append JSONL progress telemetry to this file",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live completed/failed/cached counters to stderr",
+    )
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """Map the common CLI flags onto run_many/replicate keyword args."""
+    from repro.experiments.runlog import stderr_runlog
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    kwargs = {
+        "cache": cache_dir,
+        "timeout": args.timeout,
+        "retries": args.retries,
+    }
+    if args.run_log or args.progress:
+        kwargs["run_log"] = stderr_runlog(path=args.run_log, progress=args.progress)
+    return kwargs
 
 
 def _base_config(args: argparse.Namespace):
@@ -112,7 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep_figure(args: argparse.Namespace) -> int:
     base = _base_config(args)
     sweep = run_protocol_sweep(
-        args.clients, base=base, processes=args.processes
+        args.clients, base=base, processes=args.processes, **_runner_kwargs(args)
     )
     builders = {
         "fig2": lambda: figure2_cov(sweep, base),
@@ -142,7 +214,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
         )
 
     print(f"running the protocol sweep over clients={args.clients} ...")
-    sweep = run_protocol_sweep(args.clients, base=base, processes=args.processes)
+    sweep = run_protocol_sweep(
+        args.clients, base=base, processes=args.processes, **_runner_kwargs(args)
+    )
     figures = {
         "fig02_cov": figure2_cov(sweep, base),
         "fig03_throughput": figure3_throughput(sweep),
@@ -169,6 +243,7 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
         n_replicas=args.replicas,
         base_seed=args.seed if args.seed is not None else 1,
         processes=args.processes,
+        **_runner_kwargs(args),
     )
     print(result.render_table())
     if args.json:

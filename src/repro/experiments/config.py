@@ -9,8 +9,20 @@ saturated by 40 Vegas streams, etc.).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bumped whenever the meaning of a config field (or the simulator
+#: physics behind it) changes incompatibly, so stale cache entries from
+#: older code are never mistaken for current results.
+CONFIG_SCHEMA_VERSION = 1
+
+#: Fields that only control *observation* (what gets traced), never the
+#: simulated dynamics or any ScenarioMetrics value, and are therefore
+#: excluded from the content digest.
+_DIGEST_EXCLUDED_FIELDS = frozenset({"trace_cwnd_flows"})
 
 # Transport protocol configurations the paper sweeps (Figure 2's legend).
 PROTOCOLS = (
@@ -179,6 +191,43 @@ class ScenarioConfig:
     def with_(self, **overrides) -> "ScenarioConfig":
         """A copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def digest_payload(self) -> Dict[str, Any]:
+        """The canonical dict the content digest is computed over.
+
+        Covers every physics-relevant field (anything that can change a
+        :class:`ScenarioMetrics` value) plus the schema version; purely
+        observational fields are excluded so e.g. enabling cwnd tracing
+        does not invalidate cached metrics.
+        """
+        payload: Dict[str, Any] = {"schema_version": CONFIG_SCHEMA_VERSION}
+        for spec in fields(self):
+            if spec.name in _DIGEST_EXCLUDED_FIELDS:
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, float):
+                # repr() of a float is exact and stable across platforms
+                # and processes; str() would be too, but be explicit.
+                value = repr(value)
+            elif isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    def config_digest(self) -> str:
+        """Stable hex content hash of this configuration.
+
+        Two configs with identical physics (same digest payload) hash
+        identically in any process on any platform, so the digest can
+        key an on-disk result cache shared between runs.
+        """
+        canonical = json.dumps(
+            self.digest_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def paper_config(**overrides) -> ScenarioConfig:

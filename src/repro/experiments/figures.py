@@ -98,8 +98,14 @@ def run_protocol_sweep(
     base: Optional[ScenarioConfig] = None,
     protocols: Mapping[str, Tuple[str, str]] = FIGURE2_PROTOCOLS,
     processes: Optional[int] = None,
+    **runner_kwargs,
 ) -> SweepData:
-    """Run the (protocol x client-count) grid behind Figures 2-4 and 13."""
+    """Run the (protocol x client-count) grid behind Figures 2-4 and 13.
+
+    Extra keyword arguments (``cache``, ``timeout``, ``retries``,
+    ``run_log``, ...) pass through to :func:`run_many`, so figure sweeps
+    resume from a cache directory and tolerate failing cells.
+    """
     base = base or paper_config()
     keys: List[str] = []
     configs: List[ScenarioConfig] = []
@@ -107,7 +113,7 @@ def run_protocol_sweep(
         for n in client_counts:
             keys.append(key)
             configs.append(base.with_(protocol=protocol, queue=queue, n_clients=n))
-    metrics = run_many(configs, processes=processes)
+    metrics = run_many(configs, processes=processes, **runner_kwargs)
     sweep: SweepData = {key: [] for key in protocols}
     for key, metric in zip(keys, metrics):
         sweep[key].append(metric)

@@ -88,29 +88,35 @@ def replicate(
     metrics: Sequence[str] = DEFAULT_METRICS,
     level: float = 0.95,
     processes: Optional[int] = 1,
+    **runner_kwargs,
 ) -> ReplicationResult:
     """Run ``config`` under ``n_replicas`` distinct seeds and summarize.
 
     Seeds are ``base_seed, base_seed+1, ...``; each replica's scenario
-    config differs only in its ``seed`` field.
+    config differs only in its ``seed`` field.  Extra keyword arguments
+    (``cache``, ``timeout``, ``retries``, ``run_log``, ...) pass through
+    to :func:`repro.experiments.sweep.run_many`, so replicated runs
+    cache and resume like any sweep.  Failed replicas (error-tagged
+    placeholders) are excluded from the summaries.
     """
     if n_replicas < 1:
         raise ValueError("need at least one replica")
     seeds = tuple(base_seed + i for i in range(n_replicas))
     configs = [config.with_(seed=seed) for seed in seeds]
-    replicas = run_many(configs, processes=processes)
+    replicas = run_many(configs, processes=processes, **runner_kwargs)
+    usable = [replica for replica in replicas if not replica.failed] or replicas
     summaries: Dict[str, MetricSummary] = {}
     for name in metrics:
-        values = [float(getattr(replica, name)) for replica in replicas]
+        values = [float(getattr(replica, name)) for replica in usable]
         arr = np.asarray(values)
-        if n_replicas >= 2:
+        if len(usable) >= 2:
             low, high = confidence_interval(arr, level)
         else:
             low = high = float(arr.mean())
         summaries[name] = MetricSummary(
             name=name,
             mean=float(arr.mean()),
-            std=float(arr.std(ddof=1)) if n_replicas >= 2 else 0.0,
+            std=float(arr.std(ddof=1)) if len(usable) >= 2 else 0.0,
             ci_low=low,
             ci_high=high,
             values=values,

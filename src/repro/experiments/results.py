@@ -7,17 +7,24 @@ cheaply across worker processes and serializes to CSV/JSON directly.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Sequence
 
 from repro.analysis.stats import jains_fairness_index
 from repro.analysis.tables import format_table
+from repro.experiments.config import ScenarioConfig
 from repro.experiments.scenario import ScenarioResult
 
 
 @dataclass(frozen=True)
 class ScenarioMetrics:
-    """One sweep point: the numbers the paper's figures plot."""
+    """One sweep point: the numbers the paper's figures plot.
+
+    ``error`` is empty for a successful run; a failed sweep cell (crash
+    or timeout that exhausted its retries) is recorded as a placeholder
+    whose numeric fields are NaN/zero and whose ``error`` holds the
+    failure description, so one bad cell never aborts a whole grid.
+    """
 
     protocol: str
     queue: str
@@ -44,6 +51,12 @@ class ScenarioMetrics:
     fairness: float
     mean_latency: float
     max_latency: float
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        """Whether this cell is an error placeholder, not a real run."""
+        return bool(self.error)
 
     @classmethod
     def from_result(cls, result: ScenarioResult) -> "ScenarioMetrics":
@@ -81,9 +94,60 @@ class ScenarioMetrics:
             max_latency=result.max_latency,
         )
 
+    @classmethod
+    def failure(cls, config: ScenarioConfig, error: str) -> "ScenarioMetrics":
+        """An error-tagged placeholder for a cell that could not run."""
+        nan = float("nan")
+        return cls(
+            protocol=config.protocol,
+            queue=config.queue,
+            label=config.label,
+            n_clients=config.n_clients,
+            seed=config.seed,
+            duration=config.duration,
+            cov=nan,
+            offered_cov=nan,
+            analytic_cov=nan,
+            throughput_packets=0,
+            throughput_pps=nan,
+            utilization=nan,
+            loss_percent=nan,
+            gateway_arrivals=0,
+            gateway_drops=0,
+            timeouts=0,
+            fast_retransmits=0,
+            dupacks=0,
+            timeout_dupack_ratio=nan,
+            timeout_fastrtx_ratio=nan,
+            mean_queue_length=nan,
+            red_marks=0,
+            fairness=nan,
+            mean_latency=nan,
+            max_latency=nan,
+            error=error,
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (for CSV/JSON export)."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "ScenarioMetrics":
+        """Rebuild from :meth:`as_dict` output (e.g. a cached JSON blob).
+
+        Unknown keys are ignored and missing optional fields take their
+        defaults, so records written by older/newer code still load.
+        """
+        kwargs: Dict[str, Any] = {}
+        for spec in fields(cls):
+            if spec.name in record:
+                value = record[spec.name]
+                if spec.type in ("float", float) and value is not None:
+                    value = float(value)
+                elif spec.type in ("int", int) and value is not None:
+                    value = int(value)
+                kwargs[spec.name] = value
+        return cls(**kwargs)
 
 
 def metrics_table(

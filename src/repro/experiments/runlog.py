@@ -1,0 +1,173 @@
+"""Structured progress telemetry for sweep runs.
+
+:class:`RunLog` appends one JSON object per event to a log file
+(JSONL), so a crashed or killed sweep leaves a complete record of what
+finished, what failed, and what was still running.  :class:`Progress`
+keeps the live completed/failed/cached/retried counters and renders the
+one-line status the CLI prints.
+
+Events (all carry ``t`` = wall-clock seconds and ``event``):
+
+* ``sweep_start``  -- ``total`` cells, worker count, cache directory.
+* ``task_start``   -- ``index``, ``digest``, ``label``, ``attempt``.
+* ``cache_hit``    -- ``index``, ``digest``.
+* ``task_done``    -- ``index``, ``digest``, ``elapsed``.
+* ``task_retry``   -- ``index``, ``digest``, ``attempt``, ``error``, ``delay``.
+* ``task_failed``  -- ``index``, ``digest``, ``error`` (retries exhausted).
+* ``sweep_end``    -- final counters.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TextIO
+
+
+@dataclass
+class Progress:
+    """Live counters over one sweep."""
+
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    retried: int = 0
+
+    @property
+    def finished(self) -> int:
+        """Cells with a final outcome (success, cache hit, or failure)."""
+        return self.completed + self.failed + self.cached
+
+    @property
+    def done(self) -> bool:
+        return self.finished >= self.total
+
+    def render(self) -> str:
+        """One status line, e.g. ``[ 12/40] ok=9 cached=3 failed=0``."""
+        width = len(str(self.total))
+        return (
+            f"[{self.finished:{width}d}/{self.total}] "
+            f"ok={self.completed} cached={self.cached} "
+            f"failed={self.failed} retried={self.retried}"
+        )
+
+
+class RunLog:
+    """JSONL event sink, optionally echoing progress to a stream.
+
+    Args:
+        path: JSONL file to append events to (None = no file).
+        echo: stream for live one-line progress updates (e.g.
+            ``sys.stderr``; None = silent).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        echo: Optional[TextIO] = None,
+    ) -> None:
+        self.path = path
+        self.echo = echo
+        self.progress = Progress()
+        self._handle: Optional[TextIO] = None
+        if path is not None:
+            self._handle = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, **data: Any) -> None:
+        """Append one event record, flushing so kills lose nothing."""
+        if self._handle is not None:
+            record = {"event": event, "t": time.time()}
+            record.update(data)
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        if self.echo is not None and event in (
+            "task_done",
+            "task_failed",
+            "cache_hit",
+            "sweep_end",
+        ):
+            self.echo.write(self.progress.render() + "\n")
+            self.echo.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Event helpers: keep counter updates and event emission in one place.
+    # ------------------------------------------------------------------
+    def sweep_start(self, total: int, **data: Any) -> None:
+        self.progress.total = total
+        self.emit("sweep_start", total=total, **data)
+
+    def task_start(self, index: int, digest: str, label: str, attempt: int) -> None:
+        self.emit(
+            "task_start", index=index, digest=digest, label=label, attempt=attempt
+        )
+
+    def cache_hit(self, index: int, digest: str) -> None:
+        self.progress.cached += 1
+        self.emit("cache_hit", index=index, digest=digest)
+
+    def task_done(self, index: int, digest: str, elapsed: float) -> None:
+        self.progress.completed += 1
+        self.emit("task_done", index=index, digest=digest, elapsed=elapsed)
+
+    def task_retry(
+        self, index: int, digest: str, attempt: int, error: str, delay: float
+    ) -> None:
+        self.progress.retried += 1
+        self.emit(
+            "task_retry",
+            index=index,
+            digest=digest,
+            attempt=attempt,
+            error=error,
+            delay=delay,
+        )
+
+    def task_failed(self, index: int, digest: str, error: str) -> None:
+        self.progress.failed += 1
+        self.emit("task_failed", index=index, digest=digest, error=error)
+
+    def sweep_end(self) -> None:
+        progress = self.progress
+        self.emit(
+            "sweep_end",
+            total=progress.total,
+            completed=progress.completed,
+            cached=progress.cached,
+            failed=progress.failed,
+            retried=progress.retried,
+        )
+
+
+def read_runlog(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL run log back into event dicts (skipping torn lines)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # a torn final line from a killed run
+    return events
+
+
+def stderr_runlog(path: Optional[str] = None, progress: bool = False) -> RunLog:
+    """A RunLog wired to ``sys.stderr`` when live progress is wanted."""
+    return RunLog(path=path, echo=sys.stderr if progress else None)

@@ -1,0 +1,387 @@
+"""Fault-tolerant, resumable sweep execution.
+
+The paper's figures aggregate hundreds of seed-deterministic scenario
+runs — an embarrassingly parallel, perfectly cacheable workload.  The
+old executor was a bare ``Pool.map``: one crashed or hung worker killed
+the whole grid and every re-run recomputed everything.
+:class:`SweepRunner` replaces it with per-scenario submission:
+
+* each cell runs in its own worker process with a wall-clock deadline;
+* a worker that crashes or exceeds its deadline is retried with capped
+  exponential backoff, then recorded as an error-tagged
+  :class:`ScenarioMetrics` placeholder — the rest of the grid finishes;
+* results are stored in a content-addressed :class:`ResultCache`, so an
+  interrupted sweep re-run against the same cache directory resumes
+  with instant hits for every finished cell;
+* every lifecycle event streams to a JSONL :class:`RunLog` with live
+  completed/failed/cached counters.
+
+Worker processes use the ``fork`` start method where the platform
+offers it (cheap) and fall back to ``spawn`` elsewhere (macOS default,
+Windows), so sweeps run on any CI runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.runlog import RunLog
+from repro.experiments.scenario import run_scenario
+
+#: Backoff before retry attempt k is ``backoff * 2**(k-1)``, capped.
+DEFAULT_BACKOFF = 0.25
+DEFAULT_MAX_BACKOFF = 5.0
+#: Scheduler poll period; latency floor for detecting finished workers.
+_POLL_INTERVAL = 0.02
+
+TaskFn = Callable[[ScenarioConfig], ScenarioMetrics]
+
+
+def run_one(config: ScenarioConfig) -> ScenarioMetrics:
+    """Run one configuration and return its flat metrics."""
+    return ScenarioMetrics.from_result(run_scenario(config))
+
+
+def pick_start_method(preferred: Optional[str] = None) -> str:
+    """``preferred`` if valid here, else ``fork`` where available, else
+    ``spawn`` (macOS/Windows runners have no fork)."""
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} unavailable; choose from {available}"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
+
+
+def _worker_entry(task: TaskFn, config: ScenarioConfig, conn: Connection) -> None:
+    """Child-process entry: run the task, ship (status, payload) back."""
+    try:
+        metrics = task(config)
+        conn.send(("ok", metrics))
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass  # parent will see the exit as a crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Task:
+    """One grid cell's scheduling state."""
+
+    index: int
+    config: ScenarioConfig
+    digest: str
+    attempt: int = 0  # completed attempts so far
+    ready_at: float = 0.0  # monotonic time before which it must not launch
+
+
+@dataclass
+class _Running:
+    task: _Task
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    started: float
+    deadline: Optional[float] = field(default=None)
+
+
+class SweepRunner:
+    """Submit scenarios individually; survive crashes, hangs, and kills.
+
+    Args:
+        processes: worker processes; None picks ``min(cpu, grid size)``.
+            Values <= 1 run cells in-process (easiest debugging) unless a
+            ``timeout`` is set, which forces one worker subprocess so
+            hangs can be killed.
+        timeout: per-scenario wall-clock limit in seconds (None = no
+            limit).  Enforced by terminating the worker process.
+        retries: extra attempts per cell after the first failure.
+        backoff / max_backoff: capped exponential delay between attempts.
+        cache: a :class:`ResultCache`, a cache directory path, or None.
+        run_log: a :class:`RunLog` for telemetry (None = counters only).
+        task: the per-config callable (default :func:`run_one`); must be
+            picklable under the chosen start method.
+        start_method: multiprocessing start method override (None = fork
+            where available, else spawn).
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = DEFAULT_BACKOFF,
+        max_backoff: float = DEFAULT_MAX_BACKOFF,
+        cache: Union[ResultCache, str, None] = None,
+        run_log: Optional[RunLog] = None,
+        task: TaskFn = run_one,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.processes = processes
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.cache = ResultCache(cache) if isinstance(cache, str) else cache
+        self.log = run_log if run_log is not None else RunLog()
+        self.task = task
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[ScenarioMetrics]:
+        """Run the grid, preserving input order.
+
+        Every cell yields exactly one :class:`ScenarioMetrics`: a real
+        result, a cache hit, or (after retries are exhausted) an
+        error-tagged placeholder.  The call itself only raises for
+        scheduling bugs or ``KeyboardInterrupt``, never for a failing
+        scenario.
+        """
+        configs = list(configs)
+        workers = self.processes
+        if workers is None:
+            workers = min(os.cpu_count() or 1, len(configs)) or 1
+        results: List[Optional[ScenarioMetrics]] = [None] * len(configs)
+
+        self.log.sweep_start(
+            total=len(configs),
+            workers=workers,
+            timeout=self.timeout,
+            retries=self.retries,
+            cache_dir=self.cache.directory if self.cache else None,
+        )
+        pending: List[_Task] = []
+        for index, config in enumerate(configs):
+            digest = config.config_digest()
+            cached = self.cache.get(config) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                self.log.cache_hit(index, digest)
+            else:
+                pending.append(_Task(index, config, digest))
+
+        if pending:
+            if workers <= 1 and self.timeout is None:
+                self._run_in_process(pending, results)
+            else:
+                self._run_subprocess(pending, results, max(workers, 1))
+        self.log.sweep_end()
+        assert all(m is not None for m in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping shared by both execution modes
+    # ------------------------------------------------------------------
+    def _record_success(
+        self, task: _Task, metrics: ScenarioMetrics, results: List, elapsed: float
+    ) -> None:
+        results[task.index] = metrics
+        if self.cache is not None and not metrics.failed:
+            self.cache.put(task.config, metrics)
+        self.log.task_done(task.index, task.digest, elapsed=elapsed)
+
+    def _retry_delay(self, attempt: int) -> float:
+        return min(self.backoff * (2.0 ** (attempt - 1)), self.max_backoff)
+
+    def _record_failure(
+        self, task: _Task, error: str, results: List
+    ) -> Optional[float]:
+        """Requeue with backoff if attempts remain; else write the
+        placeholder.  Returns the retry delay, or None when final."""
+        task.attempt += 1
+        if task.attempt <= self.retries:
+            delay = self._retry_delay(task.attempt)
+            self.log.task_retry(
+                task.index, task.digest, task.attempt, error=error, delay=delay
+            )
+            return delay
+        results[task.index] = ScenarioMetrics.failure(task.config, error)
+        self.log.task_failed(task.index, task.digest, error=error)
+        return None
+
+    # ------------------------------------------------------------------
+    # In-process execution (no timeout enforcement, no crash isolation)
+    # ------------------------------------------------------------------
+    def _run_in_process(self, tasks: List[_Task], results: List) -> None:
+        for task in tasks:
+            # Re-check the cache per cell so duplicate grid entries (and
+            # concurrent sweeps sharing the directory) coalesce.
+            cached = self.cache.get(task.config) if self.cache else None
+            if cached is not None:
+                results[task.index] = cached
+                self.log.cache_hit(task.index, task.digest)
+                continue
+            while True:
+                started = time.monotonic()
+                self.log.task_start(
+                    task.index, task.digest, task.config.label, task.attempt
+                )
+                try:
+                    metrics = self.task(task.config)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - isolate the cell
+                    delay = self._record_failure(
+                        task, f"{type(exc).__name__}: {exc}", results
+                    )
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                else:
+                    self._record_success(
+                        task, metrics, results, time.monotonic() - started
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    # Subprocess execution: one worker process per attempt
+    # ------------------------------------------------------------------
+    def _launch(self, context, task: _Task) -> _Running:
+        recv_conn, send_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_entry,
+            args=(self.task, task.config, send_conn),
+            daemon=True,
+        )
+        self.log.task_start(task.index, task.digest, task.config.label, task.attempt)
+        process.start()
+        send_conn.close()  # keep only the child's copy of the write end
+        started = time.monotonic()
+        deadline = started + self.timeout if self.timeout is not None else None
+        return _Running(task, process, recv_conn, started, deadline)
+
+    def _reap(self, running: _Running) -> Optional[tuple]:
+        """(status, payload) if this worker is finished, else None.
+
+        Status is ``"ok"`` (payload = metrics), ``"error"`` (payload =
+        message), ``"crash"`` (died without reporting), or ``"timeout"``
+        (deadline exceeded; the worker was terminated).
+        """
+        if running.conn.poll():
+            try:
+                status, payload = running.conn.recv()
+            except (EOFError, OSError):
+                # The pipe closed with nothing in it: the worker died
+                # before reporting (hard crash, os._exit, OOM kill).
+                running.process.join(timeout=5.0)
+                code = running.process.exitcode
+                return ("crash", f"worker crashed (exit code {code})")
+            running.process.join(timeout=5.0)
+            return (status, payload)
+        if not running.process.is_alive():
+            # It may have sent the result in the instant between the
+            # poll above and the liveness check — look once more.
+            if running.conn.poll():
+                return self._reap(running)
+            code = running.process.exitcode
+            return ("crash", f"worker crashed (exit code {code})")
+        if running.deadline is not None and time.monotonic() > running.deadline:
+            self._terminate(running.process)
+            return ("timeout", f"timeout after {self.timeout:g}s")
+        return None
+
+    @staticmethod
+    def _terminate(process: multiprocessing.process.BaseProcess) -> None:
+        process.terminate()
+        process.join(timeout=2.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM was ignored
+            process.kill()
+            process.join(timeout=2.0)
+
+    def _run_subprocess(
+        self, tasks: List[_Task], results: List, workers: int
+    ) -> None:
+        context = multiprocessing.get_context(pick_start_method(self.start_method))
+        pending: List[_Task] = list(tasks)
+        running: List[_Running] = []
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch every ready task for which a worker slot exists;
+                # re-check the cache at launch so duplicate cells and
+                # concurrent sweeps sharing a directory coalesce.
+                launched_any = True
+                while launched_any and len(running) < workers:
+                    launched_any = False
+                    for i, task in enumerate(pending):
+                        if task.ready_at <= now:
+                            pending.pop(i)
+                            cached = (
+                                self.cache.get(task.config) if self.cache else None
+                            )
+                            if cached is not None:
+                                results[task.index] = cached
+                                self.log.cache_hit(task.index, task.digest)
+                            else:
+                                running.append(self._launch(context, task))
+                            launched_any = True
+                            break
+                if not running:
+                    if pending:  # everything is backing off; sleep to the first
+                        wake = min(task.ready_at for task in pending)
+                        time.sleep(max(wake - time.monotonic(), 0.0) + 1e-4)
+                    continue
+                time.sleep(_POLL_INTERVAL)
+                still_running: List[_Running] = []
+                for worker in running:
+                    outcome = self._reap(worker)
+                    if outcome is None:
+                        still_running.append(worker)
+                        continue
+                    worker.conn.close()
+                    status, payload = outcome
+                    if status == "ok":
+                        self._record_success(
+                            worker.task,
+                            payload,
+                            results,
+                            time.monotonic() - worker.started,
+                        )
+                    else:
+                        error = payload if isinstance(payload, str) else str(payload)
+                        delay = self._record_failure(worker.task, error, results)
+                        if delay is not None:
+                            worker.task.ready_at = time.monotonic() + delay
+                            pending.append(worker.task)
+                running = still_running
+        finally:
+            for worker in running:  # interrupted: leave no orphans behind
+                self._terminate(worker.process)
+                worker.conn.close()
+
+
+def run_sweep(
+    configs: Sequence[ScenarioConfig],
+    processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    run_log: Optional[RunLog] = None,
+    **kwargs,
+) -> List[ScenarioMetrics]:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(
+        processes=processes,
+        timeout=timeout,
+        retries=retries,
+        cache=cache,
+        run_log=run_log,
+        **kwargs,
+    )
+    return runner.run(configs)

@@ -1,5 +1,10 @@
 """Running grids of scenarios, optionally in parallel.
 
+This module is the stable, minimal sweep API; the heavy lifting —
+per-scenario worker processes, wall-clock timeouts, retries with capped
+backoff, crash isolation, content-addressed result caching, and JSONL
+progress telemetry — lives in :mod:`repro.experiments.runner`.
+
 Workers receive a :class:`ScenarioConfig` (picklable dataclass) and
 return a flat :class:`ScenarioMetrics`; the heavyweight arrays never
 cross the process boundary.
@@ -7,40 +12,55 @@ cross the process boundary.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.results import ScenarioMetrics
-from repro.experiments.scenario import run_scenario
+from repro.experiments.runlog import RunLog
+from repro.experiments.runner import SweepRunner, run_one
 
-
-def run_one(config: ScenarioConfig) -> ScenarioMetrics:
-    """Run one configuration and return its flat metrics."""
-    return ScenarioMetrics.from_result(run_scenario(config))
+__all__ = ["run_one", "run_many", "client_grid"]
 
 
 def run_many(
     configs: Sequence[ScenarioConfig],
     processes: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+    run_log: Optional[RunLog] = None,
+    start_method: Optional[str] = None,
 ) -> List[ScenarioMetrics]:
     """Run every configuration, preserving input order.
 
     Args:
         configs: the grid to run.
         processes: worker processes; None picks ``min(cpu, len(configs))``,
-            and values <= 1 run everything in-process (easier debugging,
-            required on platforms without fork).
+            and values <= 1 run everything in-process (easier debugging)
+            unless ``timeout`` forces a killable worker subprocess.
+        timeout: per-scenario wall-clock limit, seconds (None = none).
+        retries: extra attempts per cell after a crash or timeout.
+        cache: a :class:`ResultCache` or cache directory path; finished
+            cells are stored under their config digest, and re-runs
+            (including interrupted sweeps) resume with cache hits.
+        run_log: optional :class:`RunLog` for JSONL progress telemetry.
+        start_method: multiprocessing start method (None = ``fork``
+            where available, ``spawn`` elsewhere, e.g. macOS/Windows).
+
+    A cell that keeps failing is returned as an error-tagged
+    :class:`ScenarioMetrics` placeholder (``metrics.failed`` is True)
+    rather than aborting the rest of the grid.
     """
-    configs = list(configs)
-    if processes is None:
-        processes = min(os.cpu_count() or 1, len(configs)) or 1
-    if processes <= 1 or len(configs) <= 1:
-        return [run_one(config) for config in configs]
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=processes) as pool:
-        return pool.map(run_one, configs)
+    runner = SweepRunner(
+        processes=processes,
+        timeout=timeout,
+        retries=retries,
+        cache=cache,
+        run_log=run_log,
+        start_method=start_method,
+    )
+    return runner.run(configs)
 
 
 def client_grid(

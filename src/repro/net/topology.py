@@ -147,7 +147,7 @@ class DumbbellNetwork:
         """Render the Figure-1 topology for terminal output."""
         p = self.params
         lines = [
-            f"client-0   \\",
+            "client-0   \\",
             f"client-1    \\   mu_c={p.client_rate_bps/1e6:g} Mbps",
             f"  ...        >--[ gateway | B={p.buffer_capacity} pkts ]"
             f"==( mu_s={p.bottleneck_rate_bps/1e6:g} Mbps,"

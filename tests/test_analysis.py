@@ -1,7 +1,6 @@
 """Unit tests for the analysis utilities (stats, timeseries, plots, tables, io)."""
 
 import json
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,167 @@
+"""Tests for config content digests and the on-disk result cache."""
+
+import json
+import math
+import os
+import subprocess
+import sys
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import CONFIG_SCHEMA_VERSION, paper_config
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import run_scenario
+
+
+def tiny(**overrides):
+    defaults = dict(n_clients=2, duration=3.0, seed=1)
+    defaults.update(overrides)
+    return paper_config(**defaults)
+
+
+def tiny_metrics(**overrides):
+    return ScenarioMetrics.from_result(run_scenario(tiny(**overrides)))
+
+
+class TestConfigDigest:
+    def test_deterministic(self):
+        assert tiny().config_digest() == tiny().config_digest()
+
+    def test_hex_sha256_shape(self):
+        digest = tiny().config_digest()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_physics_fields_change_digest(self):
+        base = tiny()
+        for overrides in [
+            dict(protocol="vegas"),
+            dict(queue="red"),
+            dict(n_clients=3),
+            dict(seed=2),
+            dict(duration=4.0),
+            dict(bottleneck_rate_bps=1.5e6),
+            dict(buffer_capacity=25),
+            dict(pacing=True),
+            dict(record_offered=False),
+        ]:
+            assert base.with_(**overrides).config_digest() != base.config_digest()
+
+    def test_observation_only_fields_do_not_change_digest(self):
+        base = tiny()
+        traced = base.with_(trace_cwnd_flows=(0, 1))
+        assert traced.config_digest() == base.config_digest()
+
+    def test_payload_carries_schema_version(self):
+        assert tiny().digest_payload()["schema_version"] == CONFIG_SCHEMA_VERSION
+
+    def test_stable_across_processes(self):
+        config = tiny(protocol="vegas", queue="red", mean_gap=0.07)
+        code = (
+            "from repro.experiments.config import paper_config;"
+            "print(paper_config(n_clients=2, duration=3.0, seed=1,"
+            " protocol='vegas', queue='red', mean_gap=0.07).config_digest())"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == config.config_digest()
+
+
+class TestMetricsRoundTrip:
+    def test_from_dict_inverts_as_dict(self):
+        metrics = tiny_metrics(protocol="udp")
+        assert ScenarioMetrics.from_dict(metrics.as_dict()) == metrics
+
+    def test_from_dict_ignores_unknown_keys(self):
+        record = tiny_metrics(protocol="udp").as_dict()
+        record["future_field"] = 123
+        assert ScenarioMetrics.from_dict(record).protocol == "udp"
+
+    def test_from_dict_defaults_missing_error(self):
+        record = tiny_metrics(protocol="udp").as_dict()
+        del record["error"]  # record written before the field existed
+        assert ScenarioMetrics.from_dict(record).error == ""
+
+    def test_json_round_trip_preserves_nan(self):
+        placeholder = ScenarioMetrics.failure(tiny(), "boom")
+        restored = ScenarioMetrics.from_dict(
+            json.loads(json.dumps(placeholder.as_dict()))
+        )
+        assert math.isnan(restored.cov)
+        assert restored.error == "boom"
+        assert restored.failed
+
+    def test_failure_placeholder_keeps_identity(self):
+        config = tiny(protocol="vegas", queue="red", n_clients=7)
+        placeholder = ScenarioMetrics.failure(config, "timeout after 1s")
+        assert placeholder.protocol == "vegas"
+        assert placeholder.queue == "red"
+        assert placeholder.n_clients == 7
+        assert placeholder.label == config.label
+        assert placeholder.failed
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        config = tiny(protocol="udp")
+        assert cache.get(config) is None
+        metrics = tiny_metrics(protocol="udp")
+        cache.put(config, metrics)
+        assert cache.get(config) == metrics
+        assert config in cache
+        assert len(cache) == 1
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(tiny(), tiny_metrics())
+        assert cache.get(tiny(seed=99)) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = tiny()
+        cache.put(config, tiny_metrics())
+        with open(cache.path_for(config), "w") as handle:
+            handle.write("{not json")
+        assert cache.get(config) is None
+
+    def test_schema_version_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = tiny()
+        cache.put(config, tiny_metrics())
+        path = cache.path_for(config)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["schema_version"] = CONFIG_SCHEMA_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert cache.get(config) is None
+
+    def test_failure_placeholder_never_served(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        config = tiny()
+        cache.put(config, ScenarioMetrics.failure(config, "boom"))
+        assert cache.get(config) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(tiny(), tiny_metrics())
+        cache.put(tiny(seed=2), tiny_metrics(seed=2))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_shared_across_instances(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        metrics = tiny_metrics()
+        first.put(tiny(), metrics)
+        second = ResultCache(str(tmp_path))
+        assert second.get(tiny()) == metrics

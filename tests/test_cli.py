@@ -166,3 +166,65 @@ class TestMain:
         out = capsys.readouterr().out
         assert "var(sum)/sum(var)" in out
         assert "aggregate c.o.v." in out
+
+
+class TestRunnerFlags:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig2",
+                "--cache-dir", "cachedir",
+                "--timeout", "5.5",
+                "--retries", "3",
+                "--resume",
+                "--progress",
+                "--run-log", "events.jsonl",
+            ]
+        )
+        assert args.cache_dir == "cachedir"
+        assert args.timeout == 5.5
+        assert args.retries == 3
+        assert args.resume is True
+        assert args.progress is True
+        assert args.run_log == "events.jsonl"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.cache_dir is None
+        assert args.timeout is None
+        assert args.retries == 1
+        assert args.resume is False
+
+    def test_resume_implies_default_cache_dir(self):
+        from repro.experiments.cli import DEFAULT_CACHE_DIR, _runner_kwargs
+
+        args = build_parser().parse_args(["fig2", "--resume"])
+        assert _runner_kwargs(args)["cache"] == DEFAULT_CACHE_DIR
+        args = build_parser().parse_args(["fig2", "--resume", "--cache-dir", "x"])
+        assert _runner_kwargs(args)["cache"] == "x"
+        args = build_parser().parse_args(["fig2"])
+        assert _runner_kwargs(args)["cache"] is None
+
+    def test_fig2_populates_and_reuses_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        log_path = tmp_path / "run.jsonl"
+        argv = [
+            "fig2",
+            "--clients", "2",
+            "--duration", "3",
+            "--processes", "1",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.json"))) == 6  # one per protocol
+
+        assert main(argv + ["--run-log", str(log_path)]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # cache hits reproduce the figure exactly
+
+        from repro.experiments.runlog import read_runlog
+
+        events = [e["event"] for e in read_runlog(str(log_path))]
+        assert events.count("cache_hit") == 6
+        assert "task_start" not in events

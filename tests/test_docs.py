@@ -7,7 +7,6 @@ Table-1 values quoted in DESIGN.md match the config defaults).
 
 import pathlib
 
-import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 

@@ -13,7 +13,6 @@ test at the bottom, which documents that behaviour rather than hiding
 it).
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.timeseries import sample_step_series, uniform_grid

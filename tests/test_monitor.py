@@ -1,6 +1,5 @@
 """Unit tests for measurement instruments."""
 
-import numpy as np
 import pytest
 
 from repro.net.link import Link

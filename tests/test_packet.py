@@ -1,6 +1,6 @@
 """Unit tests for packets and the packet factory."""
 
-from repro.net.packet import ACK_SIZE_BYTES, Packet, PacketFactory, PacketType
+from repro.net.packet import ACK_SIZE_BYTES, PacketFactory, PacketType
 
 
 def test_factory_assigns_unique_increasing_uids():

@@ -2,8 +2,7 @@
 
 import math
 
-import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.burstiness import aggregate_counts

@@ -1,6 +1,5 @@
 """Property-based tests on TCP sender invariants under random ACK streams."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for the TCP and UDP sinks."""
 
-import pytest
 
 from repro.net.packet import PacketFactory
 from repro.sim.engine import Simulator

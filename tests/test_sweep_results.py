@@ -1,6 +1,5 @@
 """Unit/integration tests for sweeps and flat result records."""
 
-import pytest
 
 from repro.experiments.config import paper_config
 from repro.experiments.results import ScenarioMetrics, metrics_table

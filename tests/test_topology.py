@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.net.packet import PacketFactory
 from repro.net.queues import DropTailQueue
 from repro.net.red import REDQueue
 from repro.net.topology import DumbbellNetwork, DumbbellParams, build_dumbbell

@@ -1,6 +1,5 @@
 """Unit tests for TCP Vegas."""
 
-import math
 
 import pytest
 
