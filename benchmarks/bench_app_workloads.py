@@ -1,0 +1,132 @@
+"""Application-workload comparison: closed-loop jobs across transports.
+
+Runs each closed-loop workload (RPC, BSP, bulk transfer) over the
+paper's headline transport contrast -- Reno vs Vegas vs the
+uncontrolled UDP baseline, under FIFO and RED gateways -- and prints
+the packet-level c.o.v. next to the job-level metrics (request latency
+percentiles, barrier stalls, job completion times).
+
+Expected shape:
+
+* the closed loop throttles itself: TCP completes its work units even
+  under congestion, while oversized UDP bursts through the 50-packet
+  gateway buffer lose packets that are never repaired;
+* TCP's burstiness surfaces at the application as latency tails and
+  barrier stalls, not just as gateway-level c.o.v.
+
+Environment knobs: ``REPRO_BENCH_WORKLOAD_CLIENTS`` (comma list,
+default ``20,44``: one uncongested and one congested point) plus the
+shared ``REPRO_BENCH_DURATION`` / ``REPRO_BENCH_SEED`` /
+``REPRO_BENCH_PROCESSES`` from conftest.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from conftest import bench_base_config, bench_processes, emit
+
+from repro.experiments.figures import (
+    figure_workload_latency,
+    run_workload_sweep,
+)
+from repro.experiments.results import metrics_table
+
+WORKLOADS = ("rpc", "bsp", "bulk")
+
+APP_COLUMNS = {
+    "rpc": (
+        "label",
+        "n_clients",
+        "cov",
+        "loss_percent",
+        "app_units_completed",
+        "app_units_failed",
+        "app_latency_mean",
+        "app_latency_p99",
+        "app_achieved_unit_rate",
+    ),
+    "bsp": (
+        "label",
+        "n_clients",
+        "cov",
+        "loss_percent",
+        "app_supersteps",
+        "app_barrier_stall_mean",
+        "app_barrier_stall_max",
+        "app_achieved_unit_rate",
+    ),
+    "bulk": (
+        "label",
+        "n_clients",
+        "cov",
+        "loss_percent",
+        "app_units_completed",
+        "app_units_failed",
+        "app_job_time_mean",
+        "app_job_time_max",
+    ),
+}
+
+
+def workload_clients():
+    raw = os.environ.get("REPRO_BENCH_WORKLOAD_CLIENTS", "20,44")
+    return [int(part) for part in raw.split(",") if part]
+
+
+def run_sweeps():
+    base = bench_base_config()
+    return {
+        workload: run_workload_sweep(
+            workload_clients(),
+            workload,
+            base=base,
+            processes=bench_processes(),
+        )
+        for workload in WORKLOADS
+    }
+
+
+def test_app_workloads(benchmark):
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    for workload, sweep in sweeps.items():
+        rows = [m for metrics in sweep.values() for m in metrics]
+        emit(
+            metrics_table(
+                rows,
+                columns=APP_COLUMNS[workload],
+                title=f"Closed-loop {workload} workload",
+            )
+        )
+        emit(figure_workload_latency(sweep, workload).render_plot(width=70, height=14))
+
+        # Every cell ran (no error placeholders).
+        assert all(not m.failed for m in rows), workload
+        # Every TCP cell offered application work.
+        tcp_rows = [m for m in rows if m.protocol != "udp"]
+        assert all(m.app_units_issued > 0 for m in tcp_rows), workload
+        if workload != "bulk":
+            assert all(m.app_units_completed > 0 for m in tcp_rows), workload
+        else:
+            # A bulk job needs ~job_packets / fair-share seconds to
+            # drain; only assert completions for cells the configured
+            # duration can actually finish.
+            base = bench_base_config()
+            for m in tcp_rows:
+                drain = base.bulk_job_packets * m.n_clients / base.bottleneck_capacity_pps
+                if m.duration > 2.0 * drain:
+                    assert m.app_units_completed > 0, m.label
+        if workload == "rpc":
+            assert all(
+                math.isfinite(m.app_latency_p99) and m.app_latency_p99 > 0
+                for m in tcp_rows
+            )
+        if workload == "bsp":
+            assert all(m.app_supersteps > 0 for m in tcp_rows)
+            assert all(m.app_barrier_stall_mean >= 0 for m in tcp_rows)
+        if workload == "bulk":
+            # UDP blasts 200-packet jobs through a 50-packet buffer and
+            # never repairs the losses: no job ever completes.
+            udp_rows = [m for m in rows if m.protocol == "udp"]
+            assert all(m.app_units_completed == 0 for m in udp_rows)

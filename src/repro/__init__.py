@@ -18,6 +18,7 @@ Quickstart::
     print(result.cov, result.analytic_cov, result.loss_percent)
 """
 
+from repro.apps import AppMetrics
 from repro.core import (
     coefficient_of_variation,
     modulation_report,
@@ -31,9 +32,10 @@ from repro.experiments import (
     run_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AppMetrics",
     "ScenarioConfig",
     "ScenarioMetrics",
     "ScenarioResult",

@@ -1,0 +1,70 @@
+"""Bulk-transfer jobs: checkpoints / file transfers of fixed size.
+
+Each client repeatedly ships a job of ``job_packets`` application
+packets (handed to the transport in one burst -- the window, not the
+application, paces the wire) and measures *job completion time*: the
+span from handing the job to the transport until the sink has delivered
+every packet.  Between jobs the client idles for an exponentially
+distributed gap (checkpoint interval / user think time), so the next
+job's start -- and hence the offered load -- is pushed back by however
+long TCP took to drain the previous one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.apps.base import AppWorkload, WorkUnit
+from repro.sim.engine import Simulator
+from repro.transport.base import Agent
+
+
+class BulkTransferWorkload(AppWorkload):
+    """Sequential fixed-size transfer jobs on one flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: Agent,
+        sink,
+        rng: random.Random,
+        job_packets: int = 200,
+        job_gap: float = 1.0,
+        name: str = "bulk",
+        unit_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(sim, agent, sink, name=name, unit_timeout=unit_timeout)
+        if job_packets < 1:
+            raise ValueError("jobs must carry at least one packet")
+        self.rng = rng
+        self.job_packets = job_packets
+        self.job_gap = job_gap
+        #: completion time of every finished job, seconds, in order
+        self.job_times: List[float] = []
+
+    def _gap(self) -> float:
+        if self.job_gap <= 0:
+            return 0.0
+        return self.rng.expovariate(1.0 / self.job_gap)
+
+    def _begin(self) -> None:
+        # First job after one gap draw, staggering the clients.
+        self.sim.schedule(self._gap(), self._issue_job)
+
+    def _issue_job(self) -> None:
+        if self.stopped:
+            return
+        self._issue_unit(self.job_packets)
+
+    def _on_unit_complete(self, unit: WorkUnit, time: float) -> None:
+        self.job_times.append(time - unit.issued_at)
+        self._next_job()
+
+    def _on_unit_failed(self, unit: WorkUnit, time: float) -> None:
+        self._next_job()
+
+    def _next_job(self) -> None:
+        if self.stopped:
+            return
+        self.sim.schedule(self._gap(), self._issue_job)

@@ -1,0 +1,103 @@
+"""Closed-loop request/response RPC clients.
+
+Each client keeps up to ``outstanding`` requests in flight.  A request
+is ``request_packets`` application packets handed to the transport; it
+completes when the sink has delivered them all, after which the server's
+response (``response_packets``, traversing the uncongested reverse path)
+arrives one modeled ``response_delay`` later.  The client then thinks
+for an exponentially distributed time and issues the next request.
+
+Only the forward (congested, simulated) direction carries simulated
+packets; the reverse direction shares the path of the ACK stream, which
+the dumbbell never congests, so the response is modeled as a
+deterministic latency rather than simulated packet by packet (see
+DESIGN.md).  Request latency is measured application-to-application:
+issue instant to response arrival, including send-buffer wait, all
+retransmissions, and the modeled response path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.apps.base import AppWorkload, WorkUnit
+from repro.sim.engine import Simulator
+from repro.transport.base import Agent
+
+
+class RpcClientWorkload(AppWorkload):
+    """A closed-loop RPC client driving one transport flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: Agent,
+        sink,
+        rng: random.Random,
+        request_packets: int = 2,
+        response_delay: float = 0.0,
+        think_time: float = 0.2,
+        outstanding: int = 1,
+        name: str = "rpc",
+        unit_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(sim, agent, sink, name=name, unit_timeout=unit_timeout)
+        if request_packets < 1:
+            raise ValueError("requests must carry at least one packet")
+        if outstanding < 1:
+            raise ValueError("need at least one outstanding-request slot")
+        self.rng = rng
+        self.request_packets = request_packets
+        self.response_delay = response_delay
+        self.think_time = think_time
+        self.outstanding = outstanding
+        #: issue-to-response latency of every completed request, seconds,
+        #: in completion order
+        self.request_latencies: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _think(self) -> float:
+        """One think-time draw (0 when thinking is disabled)."""
+        if self.think_time <= 0:
+            return 0.0
+        return self.rng.expovariate(1.0 / self.think_time)
+
+    def _begin(self) -> None:
+        # Stagger the slots' first requests by one think draw each so
+        # clients do not start in lockstep.
+        for _ in range(self.outstanding):
+            self.sim.schedule(self._think(), self._issue_request)
+
+    def _issue_request(self) -> None:
+        if self.stopped:
+            return
+        self._issue_unit(self.request_packets)
+
+    # ------------------------------------------------------------------
+    def _on_unit_complete(self, unit: WorkUnit, time: float) -> None:
+        # The server has the full request; the response arrives after the
+        # modeled reverse-path delay.
+        self.sim.schedule_at(time + self.response_delay, self._response, unit)
+
+    def _response(self, unit: WorkUnit) -> None:
+        self.request_latencies.append(self.sim.now - unit.issued_at)
+        self._slot_free()
+
+    def _on_unit_failed(self, unit: WorkUnit, time: float) -> None:
+        # The request is abandoned (RPC deadline exceeded); the slot
+        # moves on to fresh work after the usual think time.
+        self._slot_free()
+
+    def _slot_free(self) -> None:
+        if self.stopped:
+            return
+        self.sim.schedule(self._think(), self._issue_request)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_latency(self) -> Optional[float]:
+        """Mean request latency (None if nothing completed)."""
+        if not self.request_latencies:
+            return None
+        return sum(self.request_latencies) / len(self.request_latencies)

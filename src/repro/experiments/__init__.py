@@ -20,6 +20,7 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.config import (
     PROTOCOLS,
     QUEUES,
+    WORKLOADS,
     ScenarioConfig,
     paper_config,
 )
@@ -30,13 +31,16 @@ from repro.experiments.scenario import Scenario, ScenarioResult, run_scenario
 from repro.experiments.sweep import run_many
 from repro.experiments.figures import (
     FIGURE2_PROTOCOLS,
+    WORKLOAD_PROTOCOLS,
     FigureData,
     cwnd_trace_experiment,
     figure2_cov,
     figure3_throughput,
     figure4_loss,
     figure13_timeout_ratio,
+    figure_workload_latency,
     run_protocol_sweep,
+    run_workload_sweep,
 )
 
 __all__ = [
@@ -45,6 +49,8 @@ __all__ = [
     "PROTOCOLS",
     "Progress",
     "QUEUES",
+    "WORKLOADS",
+    "WORKLOAD_PROTOCOLS",
     "ResultCache",
     "RunLog",
     "Scenario",
@@ -59,8 +65,10 @@ __all__ = [
     "figure3_throughput",
     "figure4_loss",
     "figure13_timeout_ratio",
+    "figure_workload_latency",
     "paper_config",
     "run_many",
     "run_protocol_sweep",
     "run_scenario",
+    "run_workload_sweep",
 ]

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.io import results_to_csv, results_to_json
 from repro.analysis.asciiplot import ascii_step_plot
 from repro.analysis.tables import format_table
-from repro.experiments.config import paper_config, table1_rows
+from repro.experiments.config import WORKLOADS, paper_config, table1_rows
 from repro.experiments.figures import (
     FigureData,
     cwnd_trace_experiment,
@@ -130,12 +130,86 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _add_workload(parser: argparse.ArgumentParser) -> None:
+    """Closed-loop application-workload flags (see repro.apps)."""
+    group = parser.add_argument_group("application workload")
+    group.add_argument(
+        "--workload",
+        choices=list(WORKLOADS),
+        default="open",
+        help="application model: open-loop sources (default) or a "
+        "closed-loop rpc/bsp/bulk job",
+    )
+    group.add_argument(
+        "--rpc-request-packets", type=int, default=None, help="request size, packets"
+    )
+    group.add_argument(
+        "--rpc-response-packets",
+        type=int,
+        default=None,
+        help="modeled response size, packets",
+    )
+    group.add_argument(
+        "--rpc-think", type=float, default=None, help="mean think time, s"
+    )
+    group.add_argument(
+        "--rpc-outstanding",
+        type=int,
+        default=None,
+        help="concurrent requests per client",
+    )
+    group.add_argument(
+        "--bsp-shuffle-packets",
+        type=int,
+        default=None,
+        help="shuffle volume per worker per superstep, packets",
+    )
+    group.add_argument(
+        "--bsp-compute", type=float, default=None, help="mean compute time, s"
+    )
+    group.add_argument(
+        "--bulk-job-packets", type=int, default=None, help="job size, packets"
+    )
+    group.add_argument(
+        "--bulk-job-gap", type=float, default=None, help="mean gap between jobs, s"
+    )
+    group.add_argument(
+        "--workload-timeout",
+        type=_positive_float,
+        default=None,
+        help="abandon work units undelivered after this many seconds",
+    )
+
+
+def _workload_overrides(args: argparse.Namespace) -> dict:
+    """Map the workload CLI flags onto ScenarioConfig fields."""
+    mapping = {
+        "workload": "workload",
+        "rpc_request_packets": "rpc_request_packets",
+        "rpc_response_packets": "rpc_response_packets",
+        "rpc_think": "rpc_think_time",
+        "rpc_outstanding": "rpc_outstanding",
+        "bsp_shuffle_packets": "bsp_shuffle_packets",
+        "bsp_compute": "bsp_compute_time",
+        "bulk_job_packets": "bulk_job_packets",
+        "bulk_job_gap": "bulk_job_gap",
+        "workload_timeout": "workload_timeout",
+    }
+    overrides = {}
+    for arg_name, field in mapping.items():
+        value = getattr(args, arg_name, None)
+        if value is not None and value != "open":
+            overrides[field] = value
+    return overrides
+
+
 def _base_config(args: argparse.Namespace):
     overrides = {}
     if args.duration is not None:
         overrides["duration"] = args.duration
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    overrides.update(_workload_overrides(args))
     return paper_config(**overrides)
 
 
@@ -172,6 +246,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.modulation is not None:
         print()
         print(result.modulation.describe())
+    if result.app is not None:
+        print()
+        print(result.app.describe())
     if args.json:
         results_to_json(metrics.as_dict(), args.json)
         print(f"\nwrote {args.json}")
@@ -320,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--queue", default="fifo")
     run_parser.add_argument("--clients", type=int, default=20)
     _add_common(run_parser)
+    _add_workload(run_parser)
 
     for name, help_text in [
         ("fig2", "c.o.v. vs clients (Figure 2)"),
@@ -362,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     replicate_parser.add_argument("--clients", type=int, default=40)
     replicate_parser.add_argument("--replicas", type=int, default=5)
     _add_common(replicate_parser)
+    _add_workload(replicate_parser)
 
     dependence_parser = sub.add_parser(
         "dependence", help="cross-stream dependence diagnostics at the gateway"

@@ -17,7 +17,9 @@ from typing import Any, Dict, List, Optional, Tuple
 #: Bumped whenever the meaning of a config field (or the simulator
 #: physics behind it) changes incompatibly, so stale cache entries from
 #: older code are never mistaken for current results.
-CONFIG_SCHEMA_VERSION = 1
+#: v2: closed-loop application workloads (the ``workload`` family of
+#: fields) and the sink delivery-hook plumbing behind them.
+CONFIG_SCHEMA_VERSION = 2
 
 #: Fields that only control *observation* (what gets traced), never the
 #: simulated dynamics or any ScenarioMetrics value, and are therefore
@@ -38,6 +40,11 @@ PROTOCOLS = (
 
 # Gateway queueing disciplines.
 QUEUES = ("fifo", "red", "ared", "drr")
+
+# Application workloads: "open" is the paper's open-loop traffic (the
+# `traffic` field picks the source); the rest are the closed-loop
+# distributed-computing jobs of :mod:`repro.apps`.
+WORKLOADS = ("open", "rpc", "bsp", "bulk")
 
 
 @dataclass
@@ -72,6 +79,28 @@ class ScenarioConfig:
     onoff_mean_on: float = 0.5
     onoff_mean_off: float = 4.5
     onoff_shape: float = 1.5
+
+    # Closed-loop application workload (extension; see repro.apps).
+    # "open" keeps the paper's open-loop sources; "rpc"/"bsp"/"bulk"
+    # replace them with closed-loop distributed-computing jobs whose
+    # offered load reacts to transport backpressure.
+    workload: str = "open"
+    # RPC: request size, modeled response size, think time between a
+    # response and the next request, and concurrent requests per client.
+    rpc_request_packets: int = 2
+    rpc_response_packets: int = 2
+    rpc_think_time: float = 0.2
+    rpc_outstanding: int = 1
+    # BSP: shuffle volume per worker per superstep and the mean local
+    # compute time (exponential, so stragglers arise naturally).
+    bsp_shuffle_packets: int = 30
+    bsp_compute_time: float = 0.5
+    # Bulk transfers: job size and the mean idle gap between jobs.
+    bulk_job_packets: int = 200
+    bulk_job_gap: float = 1.0
+    # Work units not fully delivered within this many seconds are
+    # abandoned (keeps lossy UDP runs from stalling forever).
+    workload_timeout: float = 30.0
 
     # TCP (Table 1 + standard knobs).
     advertised_window: int = 20  # max advertised window, packets
@@ -135,6 +164,21 @@ class ScenarioConfig:
         """Bottleneck service rate in packets/second."""
         return self.bottleneck_rate_bps / (self.packet_size * 8.0)
 
+    def reverse_path_delay(self, n_packets: int = 1) -> float:
+        """Modeled one-way latency of ``n_packets`` on the *reverse*
+        (server-to-client) path: serialization at both links plus the
+        propagation delays.  The reverse direction carries only ACKs and
+        is never congested in the dumbbell, so closed-loop workloads use
+        this closed form for RPC responses and barrier releases instead
+        of simulating reverse data packets (see DESIGN.md)."""
+        bits = n_packets * self.packet_size * 8.0
+        return (
+            bits / self.bottleneck_rate_bps
+            + bits / self.client_rate_bps
+            + self.client_delay
+            + self.bottleneck_delay
+        )
+
     @property
     def congestion_knee_clients(self) -> float:
         """Client count at which offered load equals bottleneck capacity."""
@@ -156,6 +200,8 @@ class ScenarioConfig:
         base = names.get(self.protocol, self.protocol)
         if self.pacing:
             base = f"{base}/Paced"
+        if self.workload != "open":
+            base = f"{base}+{self.workload.upper()}"
         if self.queue == "red":
             return f"{base}/RED"
         if self.queue == "ared":
@@ -185,6 +231,26 @@ class ScenarioConfig:
             raise ValueError("workload parameters must be positive")
         if self.traffic not in ("poisson", "cbr", "pareto_onoff"):
             raise ValueError(f"unknown traffic model {self.traffic!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from {WORKLOADS}"
+            )
+        if min(
+            self.rpc_request_packets,
+            self.rpc_response_packets,
+            self.rpc_outstanding,
+            self.bsp_shuffle_packets,
+            self.bulk_job_packets,
+        ) < 1:
+            raise ValueError("workload sizes/windows must be at least 1")
+        if min(
+            self.rpc_think_time,
+            self.bsp_compute_time,
+            self.bulk_job_gap,
+        ) < 0:
+            raise ValueError("workload times must be non-negative")
+        if self.workload_timeout <= 0:
+            raise ValueError("workload_timeout must be positive")
         if self.protocol == "reno_ecn" and self.queue == "fifo":
             raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")
 

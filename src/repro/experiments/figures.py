@@ -217,6 +217,67 @@ def figure13_timeout_ratio(sweep: SweepData, min_clients: int = 30) -> FigureDat
     return figure
 
 
+# The transport/gateway combinations the application-workload
+# comparison sweeps (benchmarks/bench_app_workloads.py): the paper's
+# headline contrast (Reno vs Vegas vs the uncontrolled UDP baseline)
+# under both FIFO and RED gateways.
+WORKLOAD_PROTOCOLS: Dict[str, Tuple[str, str]] = {
+    "udp": ("udp", "fifo"),
+    "reno": ("reno", "fifo"),
+    "reno_red": ("reno", "red"),
+    "vegas": ("vegas", "fifo"),
+    "vegas_red": ("vegas", "red"),
+}
+
+
+def run_workload_sweep(
+    client_counts: Sequence[int],
+    workload: str,
+    base: Optional[ScenarioConfig] = None,
+    protocols: Mapping[str, Tuple[str, str]] = WORKLOAD_PROTOCOLS,
+    processes: Optional[int] = None,
+    **runner_kwargs,
+) -> SweepData:
+    """Run a (protocol x client-count) grid under a closed-loop workload.
+
+    The same grid shape as :func:`run_protocol_sweep`, but every cell
+    runs the given ``workload`` ("rpc", "bsp" or "bulk"), so the
+    resulting :class:`ScenarioMetrics` carry job-level ``app_*`` fields
+    alongside the packet-level c.o.v./throughput/loss columns.
+    """
+    base = base or paper_config()
+    return run_protocol_sweep(
+        client_counts,
+        base=base.with_(workload=workload),
+        protocols=protocols,
+        processes=processes,
+        **runner_kwargs,
+    )
+
+
+def figure_workload_latency(sweep: SweepData, workload: str = "rpc") -> FigureData:
+    """Job-level latency vs client count for a closed-loop sweep.
+
+    Plots the workload's natural completion-time metric: p99 request
+    latency for RPC, mean barrier stall for BSP, mean job completion
+    time for bulk transfers.
+    """
+    attribute, ylabel = {
+        "rpc": ("app_latency_p99", "p99 request latency (s)"),
+        "bsp": ("app_barrier_stall_mean", "mean barrier stall (s)"),
+        "bulk": ("app_job_time_mean", "mean job completion time (s)"),
+    }[workload]
+    figure = FigureData(
+        figure_id=f"Workload {workload}",
+        title=f"Application-level latency under the {workload} workload",
+        xlabel="number of clients",
+        ylabel=ylabel,
+    )
+    for label, xy in _series_from_sweep(sweep, attribute).items():
+        figure.add_series(label, *xy)
+    return figure
+
+
 def cwnd_trace_experiment(
     protocol: str,
     n_clients: int,

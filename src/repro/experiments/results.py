@@ -7,6 +7,7 @@ cheaply across worker processes and serializes to CSV/JSON directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Sequence
 
@@ -16,7 +17,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.scenario import ScenarioResult
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ScenarioMetrics:
     """One sweep point: the numbers the paper's figures plot.
 
@@ -24,6 +25,10 @@ class ScenarioMetrics:
     or timeout that exhausted its retries) is recorded as a placeholder
     whose numeric fields are NaN/zero and whose ``error`` holds the
     failure description, so one bad cell never aborts a whole grid.
+
+    Equality treats NaN as equal to NaN: many fields are legitimately
+    NaN (app metrics on open-loop runs, TCP ratios on UDP runs) and a
+    cache round-trip must compare equal to the record it stored.
     """
 
     protocol: str
@@ -51,7 +56,51 @@ class ScenarioMetrics:
     fairness: float
     mean_latency: float
     max_latency: float
+    # Job-level application metrics (closed-loop workloads; the fields
+    # default to empty/NaN for open-loop runs and records written by
+    # pre-workload versions of this code).
+    app_workload: str = ""
+    app_units_issued: int = 0
+    app_units_completed: int = 0
+    app_units_failed: int = 0
+    app_latency_mean: float = float("nan")
+    app_latency_p50: float = float("nan")
+    app_latency_p99: float = float("nan")
+    app_job_time_mean: float = float("nan")
+    app_job_time_max: float = float("nan")
+    app_supersteps: int = 0
+    app_barrier_stall_mean: float = float("nan")
+    app_barrier_stall_max: float = float("nan")
+    app_achieved_unit_rate: float = float("nan")
     error: str = ""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioMetrics):
+            return NotImplemented
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if mine == theirs:
+                continue
+            both_nan = (
+                isinstance(mine, float)
+                and isinstance(theirs, float)
+                and math.isnan(mine)
+                and math.isnan(theirs)
+            )
+            if not both_nan:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        # NaN is normalized to a sentinel so equal records (under the
+        # NaN-tolerant __eq__ above) always hash alike.
+        return hash(
+            tuple(
+                0.0 if isinstance(value, float) and math.isnan(value) else value
+                for value in (getattr(self, spec.name) for spec in fields(self))
+            )
+        )
 
     @property
     def failed(self) -> bool:
@@ -66,6 +115,24 @@ class ScenarioMetrics:
         fairness = (
             jains_fairness_index(delivered) if delivered.size else float("nan")
         )
+        app_kwargs = {}
+        if result.app is not None:
+            app = result.app
+            app_kwargs = {
+                "app_workload": app.workload,
+                "app_units_issued": app.units_issued,
+                "app_units_completed": app.units_completed,
+                "app_units_failed": app.units_failed,
+                "app_latency_mean": app.latency_mean,
+                "app_latency_p50": app.latency_p50,
+                "app_latency_p99": app.latency_p99,
+                "app_job_time_mean": app.job_time_mean,
+                "app_job_time_max": app.job_time_max,
+                "app_supersteps": app.supersteps,
+                "app_barrier_stall_mean": app.barrier_stall_mean,
+                "app_barrier_stall_max": app.barrier_stall_max,
+                "app_achieved_unit_rate": app.achieved_unit_rate,
+            }
         return cls(
             protocol=config.protocol,
             queue=config.queue,
@@ -92,6 +159,7 @@ class ScenarioMetrics:
             fairness=fairness,
             mean_latency=result.mean_latency,
             max_latency=result.max_latency,
+            **app_kwargs,
         )
 
     @classmethod
@@ -124,6 +192,7 @@ class ScenarioMetrics:
             fairness=nan,
             mean_latency=nan,
             max_latency=nan,
+            app_workload=config.workload if config.workload != "open" else "",
             error=error,
         )
 

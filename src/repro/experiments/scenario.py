@@ -17,6 +17,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.apps.base import AppWorkload
+from repro.apps.bsp import BspCoordinator, BspWorkload
+from repro.apps.bulk import BulkTransferWorkload
+from repro.apps.metrics import AppMetrics
+from repro.apps.rpc import RpcClientWorkload
 from repro.core.cov import coefficient_of_variation
 from repro.core.modulation import ModulationReport, modulation_report
 from repro.core.theory import poisson_aggregate_cov
@@ -109,6 +114,8 @@ class ScenarioResult:
     events_executed: int
     modulation: Optional[ModulationReport] = None
     per_flow_arrival_times: Optional[Dict[int, List[float]]] = None
+    # Job-level application metrics (closed-loop workloads only).
+    app: Optional[AppMetrics] = None
 
     def dependence(self) -> Optional[DependenceReport]:
         """Cross-stream dependence diagnostics (requires the scenario to
@@ -184,6 +191,12 @@ class Scenario:
         self.senders: List[Agent] = []
         self.sinks: List[Agent] = []
         self.sources: List[TrafficSource] = []
+        self.apps: List[AppWorkload] = []
+        self.bsp_coordinator: Optional[BspCoordinator] = None
+        if config.workload == "bsp":
+            self.bsp_coordinator = BspCoordinator(
+                self.sim, release_delay=config.reverse_path_delay(1)
+            )
         self._build_flows()
 
     # ------------------------------------------------------------------
@@ -279,13 +292,20 @@ class Scenario:
                     ack_delay=config.ack_delay,
                     sack=(config.protocol == "sack"),
                 )
-            source = self._make_source(index, sender)
-            if self.offered_recorder is not None:
-                self.offered_recorder.attach(source)
-            source.start(at=0.0, stop_at=config.duration)
+            if config.workload == "open":
+                source = self._make_source(index, sender)
+                if self.offered_recorder is not None:
+                    self.offered_recorder.attach(source)
+                source.start(at=0.0, stop_at=config.duration)
+                self.sources.append(source)
+            else:
+                app = self._make_workload(index, sender, sink)
+                if self.offered_recorder is not None:
+                    self.offered_recorder.attach(app)
+                app.start(at=0.0, stop_at=config.duration)
+                self.apps.append(app)
             self.senders.append(sender)
             self.sinks.append(sink)
-            self.sources.append(source)
 
     def _make_source(self, index: int, sender: Agent) -> TrafficSource:
         config = self.config
@@ -313,6 +333,48 @@ class Scenario:
             name=f"poisson-{index}",
         )
 
+    def _make_workload(self, index: int, sender: Agent, sink: Agent) -> AppWorkload:
+        config = self.config
+        rng = self.streams.stream(f"client-{index}/app")
+        if config.workload == "rpc":
+            return RpcClientWorkload(
+                self.sim,
+                sender,
+                sink,
+                rng=rng,
+                request_packets=config.rpc_request_packets,
+                response_delay=config.reverse_path_delay(
+                    config.rpc_response_packets
+                ),
+                think_time=config.rpc_think_time,
+                outstanding=config.rpc_outstanding,
+                name=f"rpc-{index}",
+                unit_timeout=config.workload_timeout,
+            )
+        if config.workload == "bsp":
+            assert self.bsp_coordinator is not None
+            return BspWorkload(
+                self.sim,
+                sender,
+                sink,
+                rng=rng,
+                coordinator=self.bsp_coordinator,
+                shuffle_packets=config.bsp_shuffle_packets,
+                compute_time=config.bsp_compute_time,
+                name=f"bsp-{index}",
+                unit_timeout=config.workload_timeout,
+            )
+        return BulkTransferWorkload(
+            self.sim,
+            sender,
+            sink,
+            rng=rng,
+            job_packets=config.bulk_job_packets,
+            job_gap=config.bulk_job_gap,
+            name=f"bulk-{index}",
+            unit_timeout=config.workload_timeout,
+        )
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -326,8 +388,9 @@ class Scenario:
         config = self.config
         counts = self.monitor.counts(until=config.duration)
         cov = coefficient_of_variation(counts)
-        # The closed-form reference applies to the Poisson workload only.
-        if config.traffic == "poisson":
+        # The closed-form reference applies to the open-loop Poisson
+        # workload only (closed-loop arrivals are not Poisson).
+        if config.traffic == "poisson" and config.workload == "open":
             analytic = poisson_aggregate_cov(
                 config.n_clients, config.per_client_rate, config.effective_bin_width
             )
@@ -378,10 +441,11 @@ class Scenario:
                 if sender.cwnd_log:
                     cwnd_traces[index] = sender.cwnd_log
             else:
+                generators = self.sources if self.sources else self.apps
                 per_flow.append(
                     FlowSummary(
                         flow_id=index,
-                        app_packets=self.sources[index].generated,
+                        app_packets=generators[index].generated,
                         packets_sent=getattr(sender, "packets_sent", 0),
                         retransmits=0,
                         delivered_unique=delivered,
@@ -403,6 +467,19 @@ class Scenario:
         if offered_counts.size and counts.size:
             reference = analytic if math.isfinite(analytic) else None
             modulation = modulation_report(offered_counts, counts, reference)
+
+        app = None
+        if self.apps:
+            app = AppMetrics.from_workloads(
+                config.workload,
+                self.apps,
+                duration=duration,
+                supersteps=(
+                    self.bsp_coordinator.supersteps_completed
+                    if self.bsp_coordinator is not None
+                    else 0
+                ),
+            )
 
         return ScenarioResult(
             config=config,
@@ -433,6 +510,7 @@ class Scenario:
                 if self.flow_monitor is not None
                 else None
             ),
+            app=app,
         )
 
 

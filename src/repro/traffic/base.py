@@ -26,6 +26,10 @@ class TrafficSource:
         self._hooks: List[GenerateHook] = []
         self._running = False
         self._stop_at: Optional[float] = None
+        # Generation token: every start() begins a new epoch, so a tick
+        # scheduled by an earlier (stopped) generation loop can never
+        # revive and run a second loop alongside the new one.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Control
@@ -36,7 +40,10 @@ class TrafficSource:
             raise RuntimeError(f"source {self.name!r} already started")
         self._running = True
         self._stop_at = stop_at
-        self.sim.schedule_at(max(at, self.sim.now) + self._next_gap(), self._tick)
+        self._epoch += 1
+        self.sim.schedule_at(
+            max(at, self.sim.now) + self._next_gap(), self._tick, self._epoch
+        )
 
     def stop(self) -> None:
         """Stop generating (takes effect at the next scheduled tick)."""
@@ -49,15 +56,15 @@ class TrafficSource:
     # ------------------------------------------------------------------
     # Generation loop
     # ------------------------------------------------------------------
-    def _tick(self) -> None:
-        if not self._running:
+    def _tick(self, epoch: int) -> None:
+        if epoch != self._epoch or not self._running:
             return
         now = self.sim.now
         if self._stop_at is not None and now > self._stop_at:
             self._running = False
             return
         self._emit(1)
-        self.sim.schedule(self._next_gap(), self._tick)
+        self.sim.schedule(self._next_gap(), self._tick, epoch)
 
     def _emit(self, n_packets: int) -> None:
         self.generated += n_packets

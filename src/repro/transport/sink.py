@@ -10,7 +10,7 @@ producing the duplicate ACKs fast retransmit relies on).
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.net.monitor import FlowStats
 from repro.net.node import Node
@@ -18,6 +18,12 @@ from repro.net.packet import Packet, PacketFactory
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 from repro.transport.base import Agent
+
+#: ``hook(time, delivered_total)`` -- called whenever the sink's count of
+#: in-order delivered application packets advances.  Closed-loop
+#: application workloads (:mod:`repro.apps`) use this to observe work-unit
+#: completions, so transport backpressure feeds back into offered load.
+DeliveryHook = Callable[[float, int], None]
 
 
 class UdpSink(Agent):
@@ -35,6 +41,11 @@ class UdpSink(Agent):
         super().__init__(sim, node, flow_id, peer, packet_factory)
         self.stats = FlowStats(flow_id)
         self._record_arrivals = record_arrivals
+        self._delivery_hooks: List[DeliveryHook] = []
+
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Register ``hook(time, delivered_total)`` on each delivery."""
+        self._delivery_hooks.append(hook)
 
     def receive(self, packet: Packet) -> None:
         stats = self.stats
@@ -44,6 +55,8 @@ class UdpSink(Agent):
         stats.last_arrival = self.sim.now
         if self._record_arrivals:
             stats.arrival_times.append(self.sim.now)
+        for hook in self._delivery_hooks:
+            hook(self.sim.now, stats.unique_packets)
 
 
 class TcpSink(Agent):
@@ -90,9 +103,15 @@ class TcpSink(Agent):
         self._buffered: Set[int] = set()
         self._unacked_in_order = 0
         self._pending_ecn_echo = False
+        self._delivery_hooks: List[DeliveryHook] = []
         self._delack_timer: Optional[Timer] = None
         if delayed_ack:
             self._delack_timer = Timer(sim, self._delack_expire)
+
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Register ``hook(time, delivered_total)`` called whenever the
+        in-order delivery point (``next_expected``) advances."""
+        self._delivery_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Receive path
@@ -119,6 +138,8 @@ class TcpSink(Agent):
                 self._buffered.discard(self.next_expected)
                 stats.unique_packets += 1
                 self.next_expected += 1
+            for hook in self._delivery_hooks:
+                hook(now, self.next_expected)
             self._in_order_ack()
         elif seq > self.next_expected:
             if seq in self._buffered:

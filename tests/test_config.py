@@ -112,3 +112,42 @@ def test_table1_rows_cover_every_paper_parameter():
     assert rows["RED max_th"] == "40 packets"
     assert rows["TCP Vegas beta"] == "3"
     assert len(rows) == 14
+
+
+class TestDigestCompleteness:
+    # The only fields allowed to be missing from the content digest:
+    # pure observation knobs that can never change a ScenarioMetrics
+    # value.  Anything else added to ScenarioConfig MUST land in the
+    # digest automatically, or cached results would silently alias.
+    OBSERVATION_ONLY = {"trace_cwnd_flows"}
+
+    def test_digest_covers_every_physics_field(self):
+        config = ScenarioConfig()
+        payload = config.digest_payload()
+        field_names = {spec.name for spec in dataclasses.fields(config)}
+        covered = set(payload) - {"schema_version"}
+        assert covered == field_names - self.OBSERVATION_ONLY
+        assert "schema_version" in payload
+
+    def test_exclusion_list_matches_declared_observation_fields(self):
+        from repro.experiments.config import _DIGEST_EXCLUDED_FIELDS
+
+        assert set(_DIGEST_EXCLUDED_FIELDS) == self.OBSERVATION_ONLY
+
+    def test_every_workload_knob_changes_the_digest(self):
+        base = ScenarioConfig()
+        for overrides in [
+            {"workload": "rpc"},
+            {"rpc_request_packets": 5},
+            {"rpc_response_packets": 5},
+            {"rpc_think_time": 0.5},
+            {"rpc_outstanding": 4},
+            {"bsp_shuffle_packets": 7},
+            {"bsp_compute_time": 0.9},
+            {"bulk_job_packets": 11},
+            {"bulk_job_gap": 2.5},
+            {"workload_timeout": 12.0},
+        ]:
+            assert base.with_(**overrides).config_digest() != base.config_digest(), (
+                overrides
+            )
