@@ -13,6 +13,20 @@ execution-backbone flags: ``--cache-dir`` / ``--resume`` (content-
 addressed result cache; interrupted sweeps pick up where they stopped),
 ``--timeout`` / ``--retries`` (kill and retry hung or crashed workers),
 and ``--run-log`` / ``--progress`` (JSONL telemetry / live counters).
+
+Observability (the flight recorder)::
+
+    repro-tcp run --trace cwnd,queue --obs-dir out/     # per-flow series
+    repro-tcp run --trace-file run.tr                   # ns-2 trace lines
+    repro-tcp profile --clients 40 --duration 50        # engine profile
+
+``--trace CATS`` enables trace categories (``cwnd``, ``rtt``,
+``state``, ``queue``, ``drops``, or ``all``); ``--obs-dir`` exports the
+captured series as JSONL (``--obs-format csv`` for CSV) together with
+an engine profile; ``--trace-file`` streams ns-2 format events at the
+bottleneck.  The ``profile`` subcommand runs one scenario under the
+engine profiler and prints a per-callback-category table
+(``--json PATH`` for machine-readable output).
 """
 
 from __future__ import annotations
@@ -36,7 +50,8 @@ from repro.experiments.figures import (
 )
 from repro.experiments.replication import replicate
 from repro.experiments.results import ScenarioMetrics, metrics_table
-from repro.experiments.scenario import run_scenario
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.obs.probes import parse_trace_spec
 
 
 def parse_range(spec: str) -> List[int]:
@@ -236,11 +251,72 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_spec(value: str) -> tuple:
+    try:
+        return parse_trace_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Flight-recorder flags (see repro.obs)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        type=_trace_spec,
+        default=(),
+        metavar="CATS",
+        help="trace categories to record, comma-separated "
+        "(cwnd,rtt,state,queue,drops or 'all')",
+    )
+    group.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="export the flight-recorder bundle (traces + engine "
+        "profile) into this directory; implies engine profiling",
+    )
+    group.add_argument(
+        "--obs-format",
+        choices=["jsonl", "csv"],
+        default="jsonl",
+        help="series export format (default jsonl)",
+    )
+    group.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="write an ns-2-format packet trace of the bottleneck queue",
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _base_config(args).with_(
-        protocol=args.protocol, queue=args.queue, n_clients=args.clients
+        protocol=args.protocol,
+        queue=args.queue,
+        n_clients=args.clients,
+        obs_trace=tuple(args.trace),
+        obs_profile=bool(args.obs_dir),
     )
-    result = run_scenario(config)
+    if args.obs_dir or args.trace_file:
+        # Build the scenario by hand so pre-run attachments (the ns
+        # tracefile writer) and post-run exports can reach inside it.
+        scenario = Scenario(config)
+        trace_handle = None
+        if args.trace_file:
+            from repro.net.tracefile import NsTraceWriter
+
+            trace_handle = open(args.trace_file, "w", encoding="utf-8")
+            writer = NsTraceWriter(trace_handle).attach(
+                scenario.network.bottleneck_interface
+            )
+        try:
+            result = scenario.run()
+        finally:
+            if trace_handle is not None:
+                trace_handle.close()
+    else:
+        result = run_scenario(config)
     metrics = ScenarioMetrics.from_result(result)
     print(metrics_table([metrics], title=f"Scenario: {config.label}, {config.n_clients} clients"))
     if result.modulation is not None:
@@ -249,12 +325,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.app is not None:
         print()
         print(result.app.describe())
+    if args.trace_file:
+        print(f"\nwrote {args.trace_file} ({writer.lines_written} trace lines)")
+    if args.obs_dir and result.obs is not None:
+        for path in result.obs.export(args.obs_dir, fmt=args.obs_format):
+            print(f"wrote {path}")
+        if result.obs.engine is not None:
+            print()
+            print(result.obs.engine.render_table())
     if args.json:
         results_to_json(metrics.as_dict(), args.json)
         print(f"\nwrote {args.json}")
     if args.csv:
         results_to_csv([metrics.as_dict()], args.csv)
         print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario under the engine profiler and print the profile."""
+    config = _base_config(args).with_(
+        protocol=args.protocol,
+        queue=args.queue,
+        n_clients=args.clients,
+        obs_profile=True,
+    )
+    scenario = Scenario(config)
+    result = scenario.run()
+    profile = result.obs.engine if result.obs is not None else None
+    assert profile is not None  # obs_profile=True guarantees it
+    print(
+        f"Scenario: {config.label}, {config.n_clients} clients, "
+        f"{config.duration:g}s simulated"
+    )
+    print(profile.render_table())
+    if args.json:
+        payload = profile.as_dict()
+        payload["wall_time_total"] = result.wall_time
+        payload["peak_rss_kb"] = result.peak_rss_kb
+        results_to_json(payload, args.json)
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -398,6 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--clients", type=int, default=20)
     _add_common(run_parser)
     _add_workload(run_parser)
+    _add_obs(run_parser)
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile the event engine over one scenario"
+    )
+    profile_parser.add_argument("--protocol", default="reno")
+    profile_parser.add_argument("--queue", default="fifo")
+    profile_parser.add_argument("--clients", type=int, default=20)
+    _add_common(profile_parser)
+    _add_workload(profile_parser)
 
     for name, help_text in [
         ("fig2", "c.o.v. vs clients (Figure 2)"),
@@ -459,6 +579,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "table1": _cmd_table1,
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "fig2": _cmd_sweep_figure,
         "fig3": _cmd_sweep_figure,
         "fig4": _cmd_sweep_figure,

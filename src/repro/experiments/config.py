@@ -19,12 +19,23 @@ from typing import Any, Dict, List, Optional, Tuple
 #: older code are never mistaken for current results.
 #: v2: closed-loop application workloads (the ``workload`` family of
 #: fields) and the sink delivery-hook plumbing behind them.
-CONFIG_SCHEMA_VERSION = 2
+#: v3: flight-recorder observability (``perf_*``/``obs_*`` summary
+#: fields on ScenarioMetrics; older cache entries lack them).
+CONFIG_SCHEMA_VERSION = 3
 
 #: Fields that only control *observation* (what gets traced), never the
-#: simulated dynamics or any ScenarioMetrics value, and are therefore
-#: excluded from the content digest.
-_DIGEST_EXCLUDED_FIELDS = frozenset({"trace_cwnd_flows"})
+#: simulated dynamics or any physics-derived ScenarioMetrics value, and
+#: are therefore excluded from the content digest.  (The obs_* fields do
+#: change the obs_* sample-count summaries, but those are observational
+#: bookkeeping, not physics -- see tests/test_config.py.)
+_DIGEST_EXCLUDED_FIELDS = frozenset(
+    {
+        "trace_cwnd_flows",
+        "obs_trace",
+        "obs_profile",
+        "obs_queue_sample_interval",
+    }
+)
 
 # Transport protocol configurations the paper sweeps (Figure 2's legend).
 PROTOCOLS = (
@@ -135,6 +146,16 @@ class ScenarioConfig:
     trace_cwnd_flows: Tuple[int, ...] = ()  # flow ids whose cwnd to log
     record_offered: bool = True  # record application generation times
     record_flow_arrivals: bool = False  # per-flow gateway arrival times
+
+    # Flight-recorder observability (see repro.obs).  ``obs_trace``
+    # enables trace categories ("cwnd", "rtt", "state", "queue",
+    # "drops", or "all"); ``obs_profile`` attaches the engine profiler;
+    # ``obs_queue_sample_interval`` thins the queue-occupancy series
+    # (0 = keep every sample).  All observation-only: none affects the
+    # simulated dynamics or the config digest.
+    obs_trace: Tuple[str, ...] = ()
+    obs_profile: bool = False
+    obs_queue_sample_interval: float = 0.0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -251,6 +272,16 @@ class ScenarioConfig:
             raise ValueError("workload times must be non-negative")
         if self.workload_timeout <= 0:
             raise ValueError("workload_timeout must be positive")
+        from repro.obs.probes import TRACE_CATEGORIES
+
+        unknown = set(self.obs_trace) - set(TRACE_CATEGORIES)
+        if unknown:
+            raise ValueError(
+                f"unknown obs_trace categories {sorted(unknown)}; "
+                f"choose from {TRACE_CATEGORIES}"
+            )
+        if self.obs_queue_sample_interval < 0:
+            raise ValueError("obs_queue_sample_interval must be non-negative")
         if self.protocol == "reno_ecn" and self.queue == "fifo":
             raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")
 

@@ -29,7 +29,20 @@ class ScenarioMetrics:
     Equality treats NaN as equal to NaN: many fields are legitimately
     NaN (app metrics on open-loop runs, TCP ratios on UDP runs) and a
     cache round-trip must compare equal to the record it stored.
+    Equality also ignores the wall-clock telemetry fields (they vary
+    between identical runs); it compares simulated outcomes.
     """
+
+    #: Wall-clock-dependent telemetry: nondeterministic between
+    #: identical runs, so excluded from __eq__/__hash__.
+    _WALL_CLOCK_FIELDS = frozenset(
+        {
+            "perf_wall_time",
+            "perf_events_per_sec",
+            "perf_sim_wall_ratio",
+            "perf_peak_rss_kb",
+        }
+    )
 
     protocol: str
     queue: str
@@ -72,12 +85,28 @@ class ScenarioMetrics:
     app_barrier_stall_mean: float = float("nan")
     app_barrier_stall_max: float = float("nan")
     app_achieved_unit_rate: float = float("nan")
+    # Run-level telemetry from the flight recorder (see repro.obs).
+    # perf_* summarize the engine's own performance; obs_* count what
+    # the enabled trace categories captured.  Defaults cover records
+    # written by pre-observability code.
+    perf_wall_time: float = float("nan")
+    perf_events_executed: int = 0
+    perf_events_per_sec: float = float("nan")
+    perf_sim_wall_ratio: float = float("nan")
+    perf_peak_rss_kb: float = float("nan")
+    obs_cwnd_samples: int = 0
+    obs_rtt_samples: int = 0
+    obs_queue_samples: int = 0
+    obs_drop_events: int = 0
+    obs_state_transitions: int = 0
     error: str = ""
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ScenarioMetrics):
             return NotImplemented
         for spec in fields(self):
+            if spec.name in self._WALL_CLOCK_FIELDS:
+                continue
             mine = getattr(self, spec.name)
             theirs = getattr(other, spec.name)
             if mine == theirs:
@@ -98,7 +127,11 @@ class ScenarioMetrics:
         return hash(
             tuple(
                 0.0 if isinstance(value, float) and math.isnan(value) else value
-                for value in (getattr(self, spec.name) for spec in fields(self))
+                for value in (
+                    getattr(self, spec.name)
+                    for spec in fields(self)
+                    if spec.name not in self._WALL_CLOCK_FIELDS
+                )
             )
         )
 
@@ -133,6 +166,23 @@ class ScenarioMetrics:
                 "app_barrier_stall_max": app.barrier_stall_max,
                 "app_achieved_unit_rate": app.achieved_unit_rate,
             }
+        obs_kwargs: Dict[str, Any] = {}
+        if result.obs is not None:
+            obs = result.obs
+            obs_kwargs = {
+                "obs_cwnd_samples": obs.n_cwnd_samples,
+                "obs_rtt_samples": obs.n_rtt_samples,
+                "obs_queue_samples": obs.n_queue_samples,
+                "obs_drop_events": obs.n_drop_events,
+                "obs_state_transitions": obs.n_state_transitions,
+            }
+        wall = result.wall_time
+        events_per_sec = (
+            result.events_executed / wall if wall and wall > 0 else float("nan")
+        )
+        sim_wall_ratio = (
+            result.config.duration / wall if wall and wall > 0 else float("nan")
+        )
         return cls(
             protocol=config.protocol,
             queue=config.queue,
@@ -159,6 +209,12 @@ class ScenarioMetrics:
             fairness=fairness,
             mean_latency=result.mean_latency,
             max_latency=result.max_latency,
+            perf_wall_time=wall,
+            perf_events_executed=result.events_executed,
+            perf_events_per_sec=events_per_sec,
+            perf_sim_wall_ratio=sim_wall_ratio,
+            perf_peak_rss_kb=result.peak_rss_kb,
+            **obs_kwargs,
             **app_kwargs,
         )
 

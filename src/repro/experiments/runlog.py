@@ -11,7 +11,9 @@ Events (all carry ``t`` = wall-clock seconds and ``event``):
 * ``sweep_start``  -- ``total`` cells, worker count, cache directory.
 * ``task_start``   -- ``index``, ``digest``, ``label``, ``attempt``.
 * ``cache_hit``    -- ``index``, ``digest``.
-* ``task_done``    -- ``index``, ``digest``, ``elapsed``.
+* ``task_done``    -- ``index``, ``digest``, ``elapsed``, plus engine
+  telemetry when available: ``events_executed``, ``sim_wall_ratio``,
+  ``peak_rss_kb``.
 * ``task_retry``   -- ``index``, ``digest``, ``attempt``, ``error``, ``delay``.
 * ``task_failed``  -- ``index``, ``digest``, ``error`` (retries exhausted).
 * ``sweep_end``    -- final counters.
@@ -120,9 +122,30 @@ class RunLog:
         self.progress.cached += 1
         self.emit("cache_hit", index=index, digest=digest)
 
-    def task_done(self, index: int, digest: str, elapsed: float) -> None:
+    def task_done(
+        self,
+        index: int,
+        digest: str,
+        elapsed: float,
+        events_executed: Optional[int] = None,
+        sim_wall_ratio: Optional[float] = None,
+        peak_rss_kb: Optional[float] = None,
+    ) -> None:
+        """Record one completed cell, with optional engine telemetry.
+
+        The extras (events executed, simulated-seconds per wall second,
+        peak RSS) come from the flight recorder's ``perf_*`` metrics;
+        None (or NaN) values are simply omitted from the record.
+        """
         self.progress.completed += 1
-        self.emit("task_done", index=index, digest=digest, elapsed=elapsed)
+        extras: Dict[str, Any] = {}
+        if events_executed is not None:
+            extras["events_executed"] = events_executed
+        if sim_wall_ratio is not None and sim_wall_ratio == sim_wall_ratio:
+            extras["sim_wall_ratio"] = round(sim_wall_ratio, 3)
+        if peak_rss_kb is not None and peak_rss_kb == peak_rss_kb:
+            extras["peak_rss_kb"] = peak_rss_kb
+        self.emit("task_done", index=index, digest=digest, elapsed=elapsed, **extras)
 
     def task_retry(
         self, index: int, digest: str, attempt: int, error: str, delay: float

@@ -194,7 +194,14 @@ class SweepRunner:
         results[task.index] = metrics
         if self.cache is not None and not metrics.failed:
             self.cache.put(task.config, metrics)
-        self.log.task_done(task.index, task.digest, elapsed=elapsed)
+        self.log.task_done(
+            task.index,
+            task.digest,
+            elapsed=elapsed,
+            events_executed=metrics.perf_events_executed,
+            sim_wall_ratio=metrics.perf_sim_wall_ratio,
+            peak_rss_kb=metrics.perf_peak_rss_kb,
+        )
 
     def _retry_delay(self, attempt: int) -> float:
         return min(self.backoff * (2.0 ** (attempt - 1)), self.max_backoff)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,10 @@ from repro.core.dependence import (
 )
 from repro.net.monitor import ArrivalMonitor, FlowArrivalMonitor
 from repro.net.fq import DRRQueue
+from repro.obs.bundle import ObsBundle
+from repro.obs.engineprof import EngineProfiler, peak_rss_kb
+from repro.obs.probes import FlowProbe, QueueProbe
+from repro.obs.registry import NULL_REGISTRY, MetricRegistry
 from repro.net.queues import DropTailQueue, PacketQueue
 from repro.net.red import AdaptiveREDQueue, REDParams, REDQueue
 from repro.net.topology import DumbbellNetwork, DumbbellParams
@@ -116,6 +121,12 @@ class ScenarioResult:
     per_flow_arrival_times: Optional[Dict[int, List[float]]] = None
     # Job-level application metrics (closed-loop workloads only).
     app: Optional[AppMetrics] = None
+    # Flight-recorder telemetry (see repro.obs).  ``wall_time`` and
+    # ``peak_rss_kb`` are always measured; ``obs`` is populated when the
+    # config enabled any trace category or the engine profiler.
+    wall_time: float = field(default=float("nan"))
+    peak_rss_kb: float = field(default=float("nan"))
+    obs: Optional[ObsBundle] = None
 
     def dependence(self) -> Optional[DependenceReport]:
         """Cross-stream dependence diagnostics (requires the scenario to
@@ -161,6 +172,20 @@ class Scenario:
         self.sim = Simulator()
         self.streams = RandomStreams(config.seed)
 
+        # Flight recorder: a category-gated registry shared by every
+        # probe.  With no categories enabled it is the null registry and
+        # probes are simply not attached, so the hot paths keep their
+        # bare ``is not None`` guards.
+        if config.obs_trace:
+            self.registry = MetricRegistry(categories=config.obs_trace)
+        else:
+            self.registry = NULL_REGISTRY
+        self.flow_probes: Dict[int, FlowProbe] = {}
+        self.queue_probe: Optional[QueueProbe] = None
+        self.profiler: Optional[EngineProfiler] = None
+        if config.obs_profile:
+            self.profiler = EngineProfiler()
+
         dumbbell_params = DumbbellParams(
             n_clients=config.n_clients,
             client_rate_bps=config.client_rate_bps,
@@ -196,6 +221,12 @@ class Scenario:
         if config.workload == "bsp":
             self.bsp_coordinator = BspCoordinator(
                 self.sim, release_delay=config.reverse_path_delay(1)
+            )
+        if self.registry.enabled("queue") or self.registry.enabled("drops"):
+            self.queue_probe = QueueProbe(
+                self.registry,
+                self.network.bottleneck_queue,
+                sample_interval=config.obs_queue_sample_interval,
             )
         self._build_flows()
 
@@ -292,6 +323,15 @@ class Scenario:
                     ack_delay=config.ack_delay,
                     sack=(config.protocol == "sack"),
                 )
+                registry = self.registry
+                if (
+                    registry.enabled("cwnd")
+                    or registry.enabled("rtt")
+                    or registry.enabled("state")
+                ):
+                    self.flow_probes[index] = sender.attach_probe(
+                        FlowProbe(registry, index)
+                    )
             if config.workload == "open":
                 source = self._make_source(index, sender)
                 if self.offered_recorder is not None:
@@ -381,10 +421,36 @@ class Scenario:
     def run(self) -> ScenarioResult:
         """Run to the configured duration and collect all metrics."""
         config = self.config
-        self.sim.run(until=config.duration)
-        return self._collect()
+        if self.profiler is not None:
+            self.sim.attach_profiler(self.profiler)
+        start = time.perf_counter()
+        try:
+            self.sim.run(until=config.duration)
+        finally:
+            wall_time = time.perf_counter() - start
+            if self.profiler is not None:
+                self.sim.detach_profiler()
+        return self._collect(wall_time)
 
-    def _collect(self) -> ScenarioResult:
+    def obs_bundle(self) -> Optional[ObsBundle]:
+        """The run's flight-recorder bundle (None when nothing enabled)."""
+        if (
+            not self.flow_probes
+            and self.queue_probe is None
+            and self.profiler is None
+        ):
+            return None
+        return ObsBundle(
+            categories=tuple(self.config.obs_trace),
+            engine=(
+                self.profiler.profile() if self.profiler is not None else None
+            ),
+            flows=dict(self.flow_probes),
+            queue=self.queue_probe,
+            registry=self.registry,
+        )
+
+    def _collect(self, wall_time: float = float("nan")) -> ScenarioResult:
         config = self.config
         counts = self.monitor.counts(until=config.duration)
         cov = coefficient_of_variation(counts)
@@ -511,6 +577,9 @@ class Scenario:
                 else None
             ),
             app=app,
+            wall_time=wall_time,
+            peak_rss_kb=peak_rss_kb(),
+            obs=self.obs_bundle(),
         )
 
 

@@ -73,10 +73,12 @@ class DRRQueue(PacketQueue):
             )
             if incoming_longer:
                 # The arriving flow is (one of) the hogs: drop the arrival.
+                self.last_drop_cause = "longest_queue"
                 self._drop(packet, now)
                 return False
             victim = self._flows[victim_flow].pop()  # tail of the hog
             self._total -= 1
+            self.last_drop_cause = "longest_queue"
             self._drop(victim, now)
         self.stats.note_length(self._total, now)
         queue = self._flows.get(packet.flow_id)

@@ -71,6 +71,12 @@ class PacketQueue:
         self._enqueue_hooks: List[DropHook] = []
         self._dequeue_hooks: List[DropHook] = []
         self._now: float = 0.0
+        #: Why the most recent drop happened (read by drop hooks that
+        #: want attribution): "tail_overflow" for a full buffer; RED
+        #: distinguishes "red_early" (probabilistic), "red_forced"
+        #: (average beyond the band), and "buffer_overflow"; DRR uses
+        #: "longest_queue" for its mid-buffer evictions.
+        self.last_drop_cause: str = "tail_overflow"
 
     # ------------------------------------------------------------------
     # Hook registration
@@ -106,6 +112,7 @@ class PacketQueue:
         self._now = now
         self.stats.arrivals += 1
         self.stats.bytes_arrived += packet.size
+        self.last_drop_cause = "tail_overflow"
         if self._admit(packet, now):
             self.stats.note_length(len(self._packets), now)
             self._packets.append(packet)

@@ -92,6 +92,7 @@ class REDQueue(PacketQueue):
         if len(self._packets) >= self.capacity:
             # Physical buffer overflow: unavoidable tail drop.
             self._count = 0
+            self.last_drop_cause = "buffer_overflow"
             return False
 
         if self.avg < params.min_th:
@@ -101,6 +102,7 @@ class REDQueue(PacketQueue):
         if self.avg >= self._hard_limit():
             # Average beyond the (possibly gentle-extended) band.
             self._count = 0
+            self.last_drop_cause = "red_forced"
             return self._mark_or_refuse(packet)
 
         drop_probability = self._drop_probability()
@@ -108,6 +110,7 @@ class REDQueue(PacketQueue):
         final_probability = self._spread(drop_probability)
         if self._rng.random() < final_probability:
             self._count = 0
+            self.last_drop_cause = "red_early"
             return self._mark_or_refuse(packet)
         return True
 

@@ -1,0 +1,61 @@
+"""The flight-recorder observability layer.
+
+One subsystem for everything the simulator can tell you about itself
+and about the protocols it runs:
+
+* :mod:`repro.obs.registry`   -- the metric registry (counters, gauges,
+  sampled time series, histograms) components publish into; disabled
+  categories resolve to shared null objects, so instrumentation is
+  near-free when off.
+* :mod:`repro.obs.engineprof` -- wall-clock profiling of the event
+  engine (events/sec, per-callback-category time, heap depth,
+  sim-time/wall-time ratio).
+* :mod:`repro.obs.probes`     -- per-flow TCP probes (cwnd / ssthresh /
+  RTT estimate / state transitions) and queue probes (occupancy, RED
+  average, per-cause drops).
+* :mod:`repro.obs.bundle`     -- :class:`ObsBundle`, the package of
+  captured series a :class:`~repro.experiments.scenario.ScenarioResult`
+  carries, with JSONL/CSV export.
+"""
+
+from repro.obs.bundle import ObsBundle
+from repro.obs.engineprof import (
+    EngineProfile,
+    EngineProfiler,
+    callback_category,
+    peak_rss_kb,
+)
+from repro.obs.probes import (
+    TRACE_CATEGORIES,
+    FlowProbe,
+    QueueProbe,
+    parse_trace_spec,
+)
+from repro.obs.registry import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    TimeSeries,
+)
+
+__all__ = [
+    "Counter",
+    "EngineProfile",
+    "EngineProfiler",
+    "FlowProbe",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "ObsBundle",
+    "QueueProbe",
+    "TRACE_CATEGORIES",
+    "TimeSeries",
+    "callback_category",
+    "parse_trace_spec",
+    "peak_rss_kb",
+]

@@ -1,0 +1,151 @@
+"""The observability bundle a run carries out of the simulator.
+
+:class:`ObsBundle` packages everything the flight recorder captured in
+one scenario -- the engine profile, per-flow TCP series, queue series,
+and the registry's scalar metrics -- and knows how to export itself as
+JSONL (one object per sample, streaming-friendly) or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.engineprof import EngineProfile
+from repro.obs.probes import FlowProbe, QueueProbe
+from repro.obs.registry import MetricRegistry, TimeSeries
+
+
+def _write_jsonl(path: str, series: TimeSeries, extra: Dict[str, Any]) -> int:
+    """Write one series as JSONL rows; returns rows written."""
+    with open(path, "a", encoding="utf-8") as handle:
+        for row in series.rows:
+            record = dict(extra)
+            record["time"] = row[0]
+            for name, value in zip(series.columns, row[1:]):
+                record[name] = value
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(series.rows)
+
+
+def _write_csv(path: str, series: TimeSeries, extra: Dict[str, Any]) -> int:
+    """Append one series to a CSV file (header written once)."""
+    new_file = not os.path.exists(path)
+    with open(path, "a", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        if new_file:
+            writer.writerow([*extra.keys(), "time", *series.columns])
+        for row in series.rows:
+            writer.writerow([*extra.values(), *row])
+    return len(series.rows)
+
+
+@dataclass
+class ObsBundle:
+    """Everything one run's flight recorder captured.
+
+    Attributes:
+        categories: the trace categories that were enabled.
+        engine: engine profile summary (None when profiling was off).
+        flows: per-flow probes keyed by flow id.
+        queue: bottleneck-queue probe (None when queue tracing was off).
+        registry: the metric registry all probes published into.
+    """
+
+    categories: Tuple[str, ...] = ()
+    engine: Optional[EngineProfile] = None
+    flows: Dict[int, FlowProbe] = field(default_factory=dict)
+    queue: Optional[QueueProbe] = None
+    registry: Optional[MetricRegistry] = None
+
+    # ------------------------------------------------------------------
+    # Summary counts (the obs_* fields of ScenarioMetrics)
+    # ------------------------------------------------------------------
+    @property
+    def n_cwnd_samples(self) -> int:
+        return sum(len(probe.cwnd) for probe in self.flows.values())
+
+    @property
+    def n_rtt_samples(self) -> int:
+        return sum(len(probe.rtt) for probe in self.flows.values())
+
+    @property
+    def n_state_transitions(self) -> int:
+        return sum(len(probe.states) for probe in self.flows.values())
+
+    @property
+    def n_queue_samples(self) -> int:
+        return len(self.queue.occupancy) if self.queue is not None else 0
+
+    @property
+    def n_drop_events(self) -> int:
+        return len(self.queue.drops) if self.queue is not None else 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Scalar metrics (counters/gauges) from the registry."""
+        return self.registry.snapshot() if self.registry is not None else {}
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, directory: str, fmt: str = "jsonl") -> List[str]:
+        """Write every captured artifact into ``directory``.
+
+        Files (per enabled capture, empty captures skipped):
+
+        * ``engine_profile.json`` -- the engine profile summary;
+        * ``flow_cwnd.<fmt>``     -- per-flow cwnd/ssthresh series;
+        * ``flow_rtt.<fmt>``      -- per-flow RTT estimator series;
+        * ``flow_state.<fmt>``    -- per-flow state transitions;
+        * ``queue_occupancy.<fmt>`` -- queue length + RED average;
+        * ``queue_drops.<fmt>``   -- per-drop events with cause;
+        * ``registry.json``       -- scalar metric snapshot.
+
+        Returns the list of paths written.
+        """
+        if fmt not in ("jsonl", "csv"):
+            raise ValueError(f"unknown export format {fmt!r}; use jsonl or csv")
+        os.makedirs(directory, exist_ok=True)
+        write = _write_jsonl if fmt == "jsonl" else _write_csv
+        written: List[str] = []
+
+        def emit(filename: str, series: TimeSeries, extra: Dict[str, Any]) -> None:
+            if not len(series):  # disabled category or nothing captured
+                return
+            path = os.path.join(directory, filename)
+            fresh = path not in written
+            if fresh and os.path.exists(path):
+                os.remove(path)  # re-exports replace, appends accumulate
+            if write(path, series, extra) and fresh:
+                written.append(path)
+
+        if self.engine is not None:
+            path = os.path.join(directory, "engine_profile.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.engine.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            written.append(path)
+
+        for flow_id in sorted(self.flows):
+            probe = self.flows[flow_id]
+            extra = {"flow_id": flow_id}
+            emit(f"flow_cwnd.{fmt}", probe.cwnd, extra)
+            emit(f"flow_rtt.{fmt}", probe.rtt, extra)
+            emit(f"flow_state.{fmt}", probe.states, extra)
+
+        if self.queue is not None:
+            extra = {"queue": self.queue.queue.name}
+            emit(f"queue_occupancy.{fmt}", self.queue.occupancy, extra)
+            emit(f"queue_drops.{fmt}", self.queue.drops, extra)
+
+        snapshot = self.snapshot()
+        if snapshot:
+            path = os.path.join(directory, "registry.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            written.append(path)
+        return written

@@ -1,0 +1,152 @@
+"""Per-flow TCP probes and queue probes.
+
+These are the protocol-layer publishers of the flight recorder:
+
+* :class:`FlowProbe` attaches to one :class:`~repro.transport.tcp_base.
+  TcpSender` and records congestion-window/ssthresh changes, RTT
+  estimator updates, and congestion-control state transitions -- the
+  per-flow trajectories behind the paper's Figures 5-12 and the
+  validation targets of the mean-field TCP/RED literature.
+* :class:`QueueProbe` attaches to any :class:`~repro.net.queues.
+  PacketQueue` via its enqueue/dequeue/drop hooks and records occupancy
+  (with the RED average, when the queue keeps one) and per-cause drop
+  events.
+
+Both publish into a shared :class:`~repro.obs.registry.MetricRegistry`,
+so what gets recorded is governed entirely by the registry's enabled
+categories (:data:`TRACE_CATEGORIES`); a probe built against a disabled
+category stores nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.net.queues import PacketQueue
+from repro.obs.registry import MetricRegistry
+
+#: The trace categories the experiment layer understands (the valid
+#: values of ``ScenarioConfig.obs_trace`` and the CLI's ``--trace``).
+TRACE_CATEGORIES = ("cwnd", "rtt", "state", "queue", "drops")
+
+
+class FlowProbe:
+    """Flight recorder for one TCP sender.
+
+    The sender calls the ``on_*`` methods from its window/RTT/state
+    machinery (guarded by an ``is not None`` check, so unprobed senders
+    pay nothing).  Which series actually record is decided by the
+    registry's enabled categories.
+    """
+
+    def __init__(self, registry: MetricRegistry, flow_id: int) -> None:
+        self.flow_id = flow_id
+        prefix = f"flow.{flow_id}"
+        # Series live under their *trace* category so the registry's
+        # category switches map 1:1 onto the CLI's --trace flags.
+        self.cwnd = registry.series(
+            f"cwnd.{prefix}", columns=("cwnd", "ssthresh")
+        )
+        self.rtt = registry.series(
+            f"rtt.{prefix}", columns=("sample", "srtt", "rttvar")
+        )
+        self.states = registry.series(f"state.{prefix}", columns=("state",))
+        self.transitions = registry.counter(f"state.transitions.{prefix}")
+
+    # ------------------------------------------------------------------
+    # Publisher interface (called by TcpSender)
+    # ------------------------------------------------------------------
+    def on_cwnd(self, time: float, cwnd: float, ssthresh: float) -> None:
+        """Record one congestion-window (or ssthresh) change."""
+        self.cwnd.append(time, cwnd, ssthresh)
+
+    def on_rtt(
+        self, time: float, sample: float, srtt: float, rttvar: float
+    ) -> None:
+        """Record one Jacobson/Karels estimator update."""
+        self.rtt.append(time, sample, srtt, rttvar)
+
+    def on_state(self, time: float, state: str) -> None:
+        """Record one congestion-control state transition."""
+        self.states.append(time, state)
+        self.transitions.inc()
+
+
+class QueueProbe:
+    """Flight recorder for one packet queue.
+
+    Registers itself on the queue's enqueue/dequeue/drop hooks; records
+    an occupancy sample on every queue-length change (thinned to
+    ``sample_interval`` if given) and one row per drop, labeled with the
+    queue's :attr:`~repro.net.queues.PacketQueue.last_drop_cause`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        queue: PacketQueue,
+        sample_interval: float = 0.0,
+    ) -> None:
+        self.queue = queue
+        self._registry = registry
+        self.occupancy = registry.series(
+            f"queue.occupancy.{queue.name}",
+            columns=("length", "red_avg"),
+            min_interval=sample_interval,
+        )
+        self.drops = registry.series(
+            f"drops.events.{queue.name}", columns=("flow_id", "seqno", "cause")
+        )
+        self.depth = registry.gauge(f"queue.max_depth.{queue.name}")
+        queue.add_enqueue_hook(self._on_change)
+        queue.add_dequeue_hook(self._on_change)
+        queue.add_drop_hook(self._on_drop)
+
+    # ------------------------------------------------------------------
+    # Hook bodies
+    # ------------------------------------------------------------------
+    def _on_change(self, packet: Packet, now: float) -> None:
+        queue = self.queue
+        length = len(queue)
+        self.occupancy.append(now, length, self._red_avg())
+        self.depth.max(length)
+
+    def _on_drop(self, packet: Packet, now: float) -> None:
+        cause = self.queue.last_drop_cause
+        self.drops.append(now, packet.flow_id, packet.seqno, cause)
+        self._registry.counter(f"drops.cause.{cause}").inc()
+
+    def _red_avg(self) -> float:
+        return float(getattr(self.queue, "avg", len(self.queue)))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def drop_causes(self) -> dict:
+        """``{cause: count}`` over every drop seen so far."""
+        causes: dict = {}
+        for row in self.drops.rows:
+            causes[row[3]] = causes.get(row[3], 0) + 1
+        return causes
+
+
+def parse_trace_spec(spec: Optional[str]) -> tuple:
+    """Parse a CLI ``--trace`` value (comma list) into category names.
+
+    Raises ValueError on unknown categories; ``"all"`` expands to every
+    category.
+    """
+    if not spec:
+        return ()
+    parts = [part.strip() for part in spec.split(",") if part.strip()]
+    if "all" in parts:
+        return tuple(TRACE_CATEGORIES)
+    unknown = [part for part in parts if part not in TRACE_CATEGORIES]
+    if unknown:
+        raise ValueError(
+            f"unknown trace categories {unknown}; "
+            f"choose from {', '.join(TRACE_CATEGORIES)} (or 'all')"
+        )
+    return tuple(dict.fromkeys(parts))

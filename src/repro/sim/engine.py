@@ -4,6 +4,13 @@ The engine is a classic calendar-queue simulator: a binary heap of
 :class:`~repro.sim.events.Event` objects ordered by
 ``(time, priority, seq)``.  Components schedule callbacks; the loop pops
 them in time order and invokes them.  All model time is in seconds.
+
+Observability: an :class:`~repro.obs.engineprof.EngineProfiler` can be
+attached with :meth:`Simulator.attach_profiler`, after which every
+executed callback is timed and attributed to a category.  With no
+profiler attached, :meth:`Simulator.run` takes a fast loop that carries
+no timing code at all (``benchmarks/bench_obs_overhead.py`` keeps the
+disabled-path cost honest).
 """
 
 from __future__ import annotations
@@ -40,7 +47,9 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq = 0
         self._events_executed = 0
+        self._cancelled_pending = 0
         self._running = False
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -57,8 +66,48 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued events, including cancelled ones not yet popped."""
+        """Number of *queued* events, cancelled-but-unpopped included.
+
+        This is the raw heap size -- a capacity/memory measure.  A
+        cancelled event stays in the heap until it reaches the front
+        (O(1) cancellation), so this over-counts the events that will
+        actually fire; use :attr:`live_events` for that.
+        """
         return len(self._queue)
+
+    @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire.
+
+        Exactly ``pending_events`` minus the cancelled events not yet
+        discarded from the heap; maintained in O(1) per cancel/pop.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The attached :class:`EngineProfiler`, if any."""
+        return self._profiler
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Attach an engine profiler (replacing any previous one).
+
+        Subsequent :meth:`run`/:meth:`step` calls route every executed
+        event through ``profiler.note_event``.  Returns the profiler.
+        """
+        self._profiler = profiler
+        return profiler
+
+    def detach_profiler(self) -> None:
+        """Remove the profiler; the engine returns to the fast loop."""
+        self._profiler = None
+
+    # NOTE: Event.cancel() increments ``_cancelled_pending`` directly
+    # (inlined for speed); pops that discard cancelled events decrement
+    # it.  ``live_events`` is the only consumer.
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,7 +136,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time!r}; clock is already at {self._now!r}"
             )
-        event = Event(time, self._seq, callback, args, priority)
+        # owner passed positionally: keyword calls cost ~10x more per
+        # Event and this is the hottest allocation in the simulator.
+        event = Event(time, self._seq, callback, args, priority, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -112,9 +163,17 @@ class Simulator:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        event.owner = None
         self._now = event.time
         self._events_executed += 1
-        event.callback(*event.args)
+        profiler = self._profiler
+        if profiler is None:
+            event.callback(*event.args)
+        else:
+            clock = profiler.clock
+            start = clock()
+            event.callback(*event.args)
+            profiler.note_event(event.callback, clock() - start, len(self._queue))
         return True
 
     def run(
@@ -136,23 +195,74 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        try:
+            if self._profiler is None:
+                return self._run_fast(until, max_events)
+            return self._run_profiled(until, max_events)
+        finally:
+            self._running = False
+
+    def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """The un-instrumented loop: no timing code on the hot path."""
+        queue = self._queue
         executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            while queue and queue[0].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+            if not queue:
+                if until is not None and until > self._now:
+                    self._now = until
+                break
+            event = queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(queue)
+            event.owner = None
+            self._now = event.time
+            self._events_executed += 1
+            event.callback(*event.args)
+            executed += 1
+        return self._now
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> float:
+        """The profiled loop: every callback timed and categorized."""
+        profiler = self._profiler
+        clock = profiler.clock
+        queue = self._queue
+        executed = 0
+        profiler.begin_run(self._now)
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                while queue and queue[0].cancelled:
+                    heapq.heappop(queue)
+                    self._cancelled_pending -= 1
+                if not queue:
                     if until is not None and until > self._now:
                         self._now = until
                     break
-                if until is not None and next_time > until:
+                event = queue[0]
+                if until is not None and event.time > until:
                     self._now = until
                     break
-                self.step()
+                heapq.heappop(queue)
+                event.owner = None
+                self._now = event.time
+                self._events_executed += 1
+                depth = len(queue)
+                start = clock()
+                event.callback(*event.args)
+                profiler.note_event(event.callback, clock() - start, depth)
                 executed += 1
         finally:
-            self._running = False
+            profiler.end_run(self._now)
         return self._now
 
     # ------------------------------------------------------------------
@@ -162,3 +272,4 @@ class Simulator:
         queue = self._queue
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._cancelled_pending -= 1

@@ -15,9 +15,15 @@ class Event:
 
     Events support O(1) cancellation: :meth:`cancel` marks the event dead
     and the simulator discards it when it reaches the head of the queue.
+
+    ``owner`` back-references the simulator while the event sits in its
+    queue (cleared when the event is popped), so cancelling a queued
+    event keeps the simulator's live-event counter exact without any
+    queue scan; cancelling an event that already fired is a no-op for
+    the counter.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "owner")
 
     def __init__(
         self,
@@ -26,6 +32,7 @@ class Event:
         callback: Callable[..., Any],
         args: Tuple[Any, ...] = (),
         priority: int = 0,
+        owner: Any = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -33,10 +40,19 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
-        """Mark this event dead; it will never fire."""
-        self.cancelled = True
+        """Mark this event dead; it will never fire (idempotent)."""
+        if not self.cancelled:
+            self.cancelled = True
+            owner = self.owner
+            if owner is not None:
+                self.owner = None
+                # Inlined owner._note_cancelled(): cancellation is a hot
+                # path (pacing cancels per send) and the method call
+                # costs more than the bookkeeping itself.
+                owner._cancelled_pending += 1
 
     @property
     def pending(self) -> bool:

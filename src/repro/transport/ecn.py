@@ -33,6 +33,7 @@ class EcnRenoSender(RenoSender):
             return
         self._last_ecn_cut = now
         self.stats.ecn_responses += 1
+        self.note_state("ecn_cut")
         self.halve_ssthresh()
         self.set_cwnd(self.ssthresh)
 

@@ -26,11 +26,13 @@ class NewRenoSender(RenoSender):
             # Full ACK: recovery is complete; deflate.
             self.in_recovery = False
             self._recover = -1
+            self.note_state("recovery_exit")
             self.set_cwnd(self.ssthresh)
             return
         # Partial ACK: retransmit the next hole and stay in recovery.
         # Deflate cwnd by the amount of new data acknowledged, then add
         # back one packet (RFC 2582 section 3, step 5).
+        self.note_state("partial_ack")
         self.output(ackno + 1)
         self._rtt_seq = None
         self.set_cwnd(self.cwnd - float(self.last_progress) + 1.0)

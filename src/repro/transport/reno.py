@@ -35,6 +35,7 @@ class RenoSender(TcpSender):
             # deflating the inflated window back to ssthresh.
             self.in_recovery = False
             self._recover = -1
+            self.note_state("recovery_exit")
             self.set_cwnd(self.ssthresh)
             return
         self.slowstart_or_linear_increase()
@@ -60,6 +61,7 @@ class RenoSender(TcpSender):
     # ------------------------------------------------------------------
     def _fast_retransmit(self) -> None:
         self.stats.fast_retransmits += 1
+        self.note_state("fast_retransmit")
         self.halve_ssthresh()
         self.in_recovery = True
         self._recover = self.maxseq

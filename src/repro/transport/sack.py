@@ -65,6 +65,7 @@ class SackSender(TcpSender):
             self._recover = -1
             self._retransmitted_this_recovery.clear()
             self.pipe = 0
+            self.note_state("recovery_exit")
             self.set_cwnd(self.ssthresh)
             return
         # Partial ACK: the retransmission and the original both left the
@@ -105,6 +106,7 @@ class SackSender(TcpSender):
     # ------------------------------------------------------------------
     def _enter_recovery(self) -> None:
         self.stats.fast_retransmits += 1
+        self.note_state("fast_retransmit")
         self.halve_ssthresh()
         self.set_cwnd(self.ssthresh)
         self.in_recovery = True

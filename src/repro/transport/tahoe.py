@@ -24,6 +24,7 @@ class TahoeSender(TcpSender):
         if self.dupacks != self.DUPACK_THRESHOLD:
             return
         self.stats.fast_retransmits += 1
+        self.note_state("fast_retransmit")
         self.halve_ssthresh()
         self.set_cwnd(1.0)
         # Rewind and retransmit from the hole; slow start will reopen.

@@ -119,6 +119,7 @@ class VegasSender(TcpSender):
         if self.in_slow_start:
             if diff > vegas.gamma:
                 self.in_slow_start = False
+                self.note_state("slowstart_exit")
                 self.set_cwnd(max(self.MIN_CWND, self.cwnd * self.SS_EXIT_SHRINK))
             elif self._ss_grow_this_epoch:
                 self.set_cwnd(self.cwnd * 2.0)
@@ -151,6 +152,7 @@ class VegasSender(TcpSender):
             # Already retransmitted within the last RTT; don't pile on.
             return
         self.stats.fast_retransmits += 1
+        self.note_state("fast_retransmit")
         self.output(missing)
         self._rtt_seq = None  # Karn
         now = self.sim.now

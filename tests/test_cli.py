@@ -228,3 +228,114 @@ class TestRunnerFlags:
         events = [e["event"] for e in read_runlog(str(log_path))]
         assert events.count("cache_hit") == 6
         assert "task_start" not in events
+
+
+class TestObservabilityFlags:
+    """The flight-recorder CLI surface: --trace, --obs-dir, --trace-file."""
+
+    def test_trace_spec_parsing(self):
+        args = build_parser().parse_args(["run", "--trace", "cwnd,queue"])
+        assert args.trace == ("cwnd", "queue")
+
+    def test_trace_all_expands(self):
+        args = build_parser().parse_args(["run", "--trace", "all"])
+        assert "drops" in args.trace
+
+    def test_trace_unknown_category_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace", "bogus"])
+        assert "unknown trace categories" in capsys.readouterr().err
+
+    def test_trace_file_round_trip(self, tmp_path, capsys):
+        from repro.net.tracefile import read_trace
+
+        trace_path = tmp_path / "run.tr"
+        code = main(
+            [
+                "run",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--trace-file",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert str(trace_path) in capsys.readouterr().out
+        records = read_trace(str(trace_path))
+        assert records  # lines written and parse back cleanly
+        ops = {record.op for record in records}
+        assert "+" in ops and "-" in ops
+        assert all(record.time >= 0 for record in records)
+
+    def test_obs_dir_exports_bundle(self, tmp_path, capsys):
+        import json
+
+        obs_dir = tmp_path / "obs"
+        code = main(
+            [
+                "run",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--obs-dir",
+                str(obs_dir),
+                "--trace",
+                "cwnd,queue",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert (obs_dir / "flow_cwnd.jsonl").exists()
+        assert (obs_dir / "queue_occupancy.jsonl").exists()
+        profile = json.loads((obs_dir / "engine_profile.json").read_text())
+        assert profile["events_executed"] > 0
+        assert "engine profile" in out.lower() or "ev/s" in out
+
+    def test_obs_dir_csv_format(self, tmp_path):
+        obs_dir = tmp_path / "obs"
+        main(
+            [
+                "run",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--obs-dir",
+                str(obs_dir),
+                "--obs-format",
+                "csv",
+                "--trace",
+                "cwnd",
+            ]
+        )
+        header = (obs_dir / "flow_cwnd.csv").read_text().splitlines()[0]
+        assert header == "flow_id,time,cwnd,ssthresh"
+
+    def test_profile_subcommand(self, capsys):
+        code = main(["profile", "--clients", "2", "--duration", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ev/s" in out
+
+    def test_profile_json_output(self, tmp_path):
+        import json
+
+        json_path = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile",
+                "--clients",
+                "2",
+                "--duration",
+                "3",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["events_executed"] > 0
+        assert payload["sim_time"] == 3.0

@@ -1,0 +1,447 @@
+"""Tests for the flight-recorder observability layer (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.config import paper_config
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.net.packet import PacketFactory
+from repro.net.queues import DropTailQueue
+from repro.net.red import REDParams, REDQueue
+from repro.obs.bundle import ObsBundle
+from repro.obs.engineprof import (
+    EngineProfiler,
+    callback_category,
+    peak_rss_kb,
+)
+from repro.obs.probes import (
+    TRACE_CATEGORIES,
+    FlowProbe,
+    QueueProbe,
+    parse_trace_spec,
+)
+from repro.obs.registry import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    MetricRegistry,
+    TimeSeries,
+)
+from repro.sim.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# Registry and metric kinds
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_gauge_series_histogram(self):
+        reg = MetricRegistry()
+        counter = reg.counter("a.count")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+        gauge = reg.gauge("a.depth")
+        gauge.set(2.0)
+        gauge.max(5.0)
+        gauge.max(1.0)
+        assert gauge.value == 5.0
+
+        series = reg.series("a.s", columns=("x", "y"))
+        series.append(0.0, 1, 2)
+        series.append(1.0, 3, 4)
+        assert series.times() == [0.0, 1.0]
+        assert series.column("y") == [2, 4]
+        assert len(series) == 2
+
+        hist = reg.histogram("a.h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.total == 3
+
+    def test_same_name_returns_same_object(self):
+        reg = MetricRegistry()
+        assert reg.counter("x.n") is reg.counter("x.n")
+
+    def test_category_gating(self):
+        reg = MetricRegistry(categories=("cwnd",))
+        assert reg.enabled("cwnd")
+        assert not reg.enabled("rtt")
+        live = reg.series("cwnd.flow.0")
+        dead = reg.series("rtt.flow.0")
+        assert live is not NULL_METRIC
+        assert dead is NULL_METRIC
+
+    def test_null_metric_is_inert_and_falsy(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(3.0)
+        NULL_METRIC.max(3.0)
+        NULL_METRIC.append(0.0, 1)
+        NULL_METRIC.observe(2.0)
+        assert len(NULL_METRIC) == 0
+        assert not NULL_METRIC
+
+    def test_null_registry_disables_everything(self):
+        for category in TRACE_CATEGORIES:
+            assert not NULL_REGISTRY.enabled(category)
+
+    def test_none_categories_enables_everything(self):
+        reg = MetricRegistry()
+        assert reg.enabled("anything")
+
+    def test_snapshot_scalars_and_summaries(self):
+        reg = MetricRegistry()
+        reg.counter("c.n").inc(2)
+        reg.series("s.t").append(1.0, 9)
+        snap = reg.snapshot()
+        assert snap["c.n"] == 2
+        assert snap["s.t"]["n_rows"] == 1
+
+    def test_series_min_interval_thins(self):
+        series = TimeSeries("s", min_interval=1.0)
+        series.append(0.0, 1)
+        series.append(0.5, 2)  # inside the interval: dropped
+        series.append(1.0, 3)
+        assert series.times() == [0.0, 1.0]
+
+
+class TestParseTraceSpec:
+    def test_comma_list(self):
+        assert parse_trace_spec("cwnd,queue") == ("cwnd", "queue")
+
+    def test_all_expands(self):
+        assert parse_trace_spec("all") == TRACE_CATEGORIES
+
+    def test_empty(self):
+        assert parse_trace_spec("") == ()
+        assert parse_trace_spec(None) == ()
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            parse_trace_spec("cwnd,bogus")
+
+    def test_deduplicates_preserving_order(self):
+        assert parse_trace_spec("rtt,cwnd,rtt") == ("rtt", "cwnd")
+
+
+# ----------------------------------------------------------------------
+# Engine profiler
+# ----------------------------------------------------------------------
+class TestEngineProfiler:
+    def test_profile_counts_and_categories(self):
+        sim = Simulator()
+        profiler = sim.attach_profiler(EngineProfiler())
+
+        def tick(remaining):
+            if remaining:
+                sim.schedule(0.1, tick, remaining - 1)
+
+        sim.schedule(0.0, tick, 9)
+        sim.schedule(100.0, tick, 0)  # parked event keeps the heap non-empty
+        sim.run()
+        profile = profiler.profile()
+        assert profile.events_executed == 11
+        assert profile.sim_time == pytest.approx(100.0)
+        assert profile.wall_time > 0
+        assert profile.events_per_sec > 0
+        assert profile.max_heap_depth >= 1
+        assert [s.category for s in profile.categories] == [
+            "TestEngineProfiler.test_profile_counts_and_categories.<locals>.tick"
+        ]
+        assert profile.categories[0].events == 11
+
+    def test_bound_methods_grouped_by_class_and_name(self):
+        class Thing:
+            def poke(self):
+                pass
+
+        assert callback_category(Thing().poke) == "Thing.poke"
+        assert callback_category(Thing().poke) == callback_category(Thing().poke)
+
+    def test_detach_restores_fast_loop(self):
+        sim = Simulator()
+        profiler = sim.attach_profiler(EngineProfiler())
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        sim.detach_profiler()
+        assert sim.profiler is None
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert profiler.events == 1  # second event not profiled
+
+    def test_render_table_mentions_throughput(self):
+        sim = Simulator()
+        profiler = sim.attach_profiler(EngineProfiler())
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        table = profiler.profile().render_table()
+        assert "ev/s" in table
+        assert "category" in table
+
+    def test_as_dict_round_trips_through_json(self):
+        sim = Simulator()
+        profiler = sim.attach_profiler(EngineProfiler())
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        payload = json.loads(json.dumps(profiler.profile().as_dict()))
+        assert payload["events_executed"] == 1
+
+    def test_step_is_profiled_too(self):
+        sim = Simulator()
+        profiler = sim.attach_profiler(EngineProfiler())
+        sim.schedule(0.0, lambda: None)
+        assert sim.step()
+        assert profiler.events == 1
+
+
+def test_peak_rss_is_positive_here():
+    assert peak_rss_kb() > 0
+
+
+# ----------------------------------------------------------------------
+# Flow probes (via a real TCP sender)
+# ----------------------------------------------------------------------
+class TestFlowProbe:
+    def _run(self, **config_overrides):
+        overrides = {"n_clients": 2, "duration": 10.0, "seed": 3}
+        overrides.update(config_overrides)
+        return run_scenario(paper_config(**overrides))
+
+    def test_cwnd_series_recorded(self):
+        result = self._run(obs_trace=("cwnd",))
+        assert result.obs is not None
+        assert result.obs.n_cwnd_samples > 0
+        probe = result.obs.flows[0]
+        assert probe.cwnd.columns == ("cwnd", "ssthresh")
+        # The first sample is the initial window published at attach.
+        assert probe.cwnd.rows[0][1] == 1.0
+
+    def test_rtt_series_recorded(self):
+        result = self._run(obs_trace=("rtt",))
+        probe = result.obs.flows[0]
+        assert len(probe.rtt) > 0
+        # srtt must be positive once samples arrive.
+        assert all(row[2] > 0 for row in probe.rtt.rows)
+        # cwnd category is off: that series stored nothing.
+        assert len(probe.cwnd) == 0
+
+    def test_state_transitions_on_lossy_run(self):
+        result = self._run(
+            obs_trace=("state",), n_clients=40, duration=30.0
+        )
+        assert result.obs.n_state_transitions > 0
+        states = {
+            row[1]
+            for probe in result.obs.flows.values()
+            for row in probe.states.rows
+        }
+        assert states <= {
+            "timeout",
+            "fast_retransmit",
+            "recovery_exit",
+            "partial_ack",
+            "slowstart_exit",
+            "ecn_cut",
+        }
+        assert states  # at 40 clients something must have happened
+
+    def test_no_obs_config_attaches_nothing(self):
+        result = self._run()
+        assert result.obs is None
+        # perf telemetry is still measured.
+        assert result.wall_time > 0
+        assert result.peak_rss_kb > 0
+
+
+# ----------------------------------------------------------------------
+# Queue probes
+# ----------------------------------------------------------------------
+class TestQueueProbe:
+    def _packets(self, n):
+        factory = PacketFactory()
+        return [
+            factory.data(0, "a", "b", 1000, seqno=i, now=0.0) for i in range(n)
+        ]
+
+    def test_occupancy_follows_queue_length(self):
+        reg = MetricRegistry(categories=("queue", "drops"))
+        queue = DropTailQueue(4, name="q")
+        probe = QueueProbe(reg, queue)
+        for i, packet in enumerate(self._packets(3)):
+            queue.enqueue(packet, float(i))
+        queue.dequeue(3.0)
+        lengths = probe.occupancy.column("length")
+        assert lengths == [1, 2, 3, 2]
+        assert probe.depth.value == 3
+
+    def test_droptail_drop_cause(self):
+        reg = MetricRegistry(categories=("drops",))
+        queue = DropTailQueue(2, name="q")
+        probe = QueueProbe(reg, queue)
+        for packet in self._packets(4):
+            queue.enqueue(packet, 0.0)
+        assert probe.drop_causes == {"tail_overflow": 2}
+        assert reg.counter("drops.cause.tail_overflow").value == 2
+
+    def test_red_drop_causes_labelled(self):
+        reg = MetricRegistry(categories=("queue", "drops"))
+        queue = REDQueue(
+            8, REDParams(min_th=1.0, max_th=3.0, weight=0.5), name="red"
+        )
+        probe = QueueProbe(reg, queue)
+        now = 0.0
+        for packet in self._packets(60):
+            now += 0.001
+            queue.enqueue(packet, now)
+        assert queue.stats.drops > 0
+        causes = set(probe.drop_causes)
+        assert causes <= {"red_early", "red_forced", "buffer_overflow"}
+        assert causes
+        # occupancy rows carry the RED average alongside raw length.
+        avgs = probe.occupancy.column("red_avg")
+        assert any(avg > 0 for avg in avgs)
+
+    def test_sample_interval_thins_occupancy(self):
+        reg = MetricRegistry(categories=("queue",))
+        queue = DropTailQueue(64, name="q")
+        probe = QueueProbe(reg, queue, sample_interval=10.0)
+        for i, packet in enumerate(self._packets(5)):
+            queue.enqueue(packet, float(i))
+        assert len(probe.occupancy) == 1  # all arrivals inside 10 s
+
+
+# ----------------------------------------------------------------------
+# Bundle export
+# ----------------------------------------------------------------------
+class TestObsBundle:
+    def _result(self):
+        config = paper_config(
+            n_clients=3,
+            duration=10.0,
+            seed=2,
+            obs_trace=("cwnd", "queue", "drops"),
+            obs_profile=True,
+        )
+        return Scenario(config).run()
+
+    def test_summary_counts(self):
+        result = self._result()
+        obs = result.obs
+        assert obs.n_cwnd_samples > 0
+        assert obs.n_queue_samples > 0
+        assert obs.engine is not None
+        assert obs.engine.events_executed == result.events_executed
+
+    def test_export_jsonl(self, tmp_path):
+        result = self._result()
+        written = result.obs.export(str(tmp_path))
+        names = {p.split("/")[-1] for p in written}
+        assert "engine_profile.json" in names
+        assert "flow_cwnd.jsonl" in names
+        assert "queue_occupancy.jsonl" in names
+        # Disabled categories produce no files at all.
+        assert "flow_rtt.jsonl" not in names
+        with open(tmp_path / "flow_cwnd.jsonl") as handle:
+            rows = [json.loads(line) for line in handle]
+        assert {"time", "cwnd", "ssthresh", "flow_id"} <= set(rows[0])
+        flow_ids = {row["flow_id"] for row in rows}
+        assert flow_ids == {0, 1, 2}
+
+    def test_export_csv(self, tmp_path):
+        result = self._result()
+        result.obs.export(str(tmp_path), fmt="csv")
+        lines = (tmp_path / "flow_cwnd.csv").read_text().splitlines()
+        assert lines[0] == "flow_id,time,cwnd,ssthresh"
+        assert len(lines) > 1
+
+    def test_export_twice_replaces(self, tmp_path):
+        result = self._result()
+        result.obs.export(str(tmp_path))
+        first = (tmp_path / "flow_cwnd.jsonl").read_text()
+        result.obs.export(str(tmp_path))
+        assert (tmp_path / "flow_cwnd.jsonl").read_text() == first
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ObsBundle().export(str(tmp_path), fmt="xml")
+
+    def test_empty_bundle_writes_nothing(self, tmp_path):
+        assert ObsBundle().export(str(tmp_path)) == []
+
+
+# ----------------------------------------------------------------------
+# Experiment-layer integration
+# ----------------------------------------------------------------------
+class TestMetricsIntegration:
+    def test_perf_fields_populated(self):
+        config = paper_config(n_clients=2, duration=5.0)
+        metrics = ScenarioMetrics.from_result(run_scenario(config))
+        assert metrics.perf_wall_time > 0
+        assert metrics.perf_events_executed > 0
+        assert metrics.perf_events_per_sec > 0
+        assert metrics.perf_sim_wall_ratio > 0
+        assert metrics.perf_peak_rss_kb > 0
+
+    def test_obs_counts_flow_into_metrics(self):
+        config = paper_config(
+            n_clients=2, duration=5.0, obs_trace=("cwnd", "queue")
+        )
+        metrics = ScenarioMetrics.from_result(run_scenario(config))
+        assert metrics.obs_cwnd_samples > 0
+        assert metrics.obs_queue_samples > 0
+        assert metrics.obs_rtt_samples == 0  # category off
+
+    def test_equality_ignores_wall_clock_telemetry(self):
+        config = paper_config(n_clients=2, duration=5.0)
+        first = ScenarioMetrics.from_result(run_scenario(config))
+        second = ScenarioMetrics.from_result(run_scenario(config))
+        assert first.perf_wall_time != second.perf_wall_time or True
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_from_dict_round_trip_keeps_perf_fields(self):
+        config = paper_config(n_clients=2, duration=5.0)
+        metrics = ScenarioMetrics.from_result(run_scenario(config))
+        rebuilt = ScenarioMetrics.from_dict(metrics.as_dict())
+        assert rebuilt == metrics
+        assert rebuilt.perf_events_executed == metrics.perf_events_executed
+
+    def test_old_records_default_perf_fields(self):
+        config = paper_config(n_clients=2, duration=5.0)
+        metrics = ScenarioMetrics.from_result(run_scenario(config))
+        record = metrics.as_dict()
+        for name in list(record):
+            if name.startswith("perf_") or name.startswith("obs_"):
+                del record[name]
+        rebuilt = ScenarioMetrics.from_dict(record)
+        assert math.isnan(rebuilt.perf_wall_time)
+        assert rebuilt.obs_cwnd_samples == 0
+
+    def test_obs_trace_does_not_change_digest(self):
+        base = paper_config()
+        traced = base.with_(obs_trace=("cwnd",), obs_profile=True)
+        assert base.config_digest() == traced.config_digest()
+
+    def test_invalid_obs_trace_rejected(self):
+        with pytest.raises(ValueError, match="obs_trace"):
+            paper_config(obs_trace=("bogus",)).validate()
+
+
+class TestFlowProbeAttachment:
+    def test_attach_probe_publishes_initial_window(self):
+        config = paper_config(n_clients=1, duration=1.0, obs_trace=("cwnd",))
+        scenario = Scenario(config)
+        probe = scenario.flow_probes[0]
+        assert isinstance(probe, FlowProbe)
+        assert len(probe.cwnd) == 1  # the initial cwnd/ssthresh sample
+        assert scenario.senders[0].obs is probe
+
+    def test_udp_flows_get_no_probe(self):
+        config = paper_config(
+            protocol="udp", n_clients=1, duration=1.0, obs_trace=("cwnd",)
+        )
+        scenario = Scenario(config)
+        assert scenario.flow_probes == {}

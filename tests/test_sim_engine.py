@@ -197,3 +197,52 @@ def test_callbacks_see_correct_now():
     sim.schedule(2.5, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [1.25, 2.5]
+
+
+def test_live_events_excludes_cancelled_but_unpopped():
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(1, 5)]
+    events[2].cancel()
+    # The cancelled event stays in the heap (O(1) cancellation)...
+    assert sim.pending_events == 4
+    # ...but the live counter already excludes it.
+    assert sim.live_events == 3
+
+
+def test_live_events_counter_drains_with_pops():
+    sim = Simulator()
+    doomed = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    doomed.cancel()
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.live_events == 0
+
+
+def test_cancel_after_fire_does_not_skew_live_events():
+    sim = Simulator()
+    fired = sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired.cancel()  # late cancel of an executed event: counter no-op
+    sim.schedule(2.0, lambda: None)
+    assert sim.live_events == 1
+    assert sim.pending_events == 1
+
+
+def test_cancel_is_idempotent_for_live_events():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.live_events == 1
+
+
+def test_peek_time_reconciles_live_events():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    event.cancel()
+    sim.peek_time()  # discards the cancelled head
+    assert sim.pending_events == 1
+    assert sim.live_events == 1
