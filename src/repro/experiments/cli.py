@@ -40,12 +40,15 @@ from repro.analysis.asciiplot import ascii_step_plot
 from repro.analysis.tables import format_table
 from repro.experiments.config import WORKLOADS, paper_config, table1_rows
 from repro.experiments.figures import (
+    LARGEN_CLIENT_COUNTS,
     FigureData,
     cwnd_trace_experiment,
     figure2_cov,
     figure3_throughput,
     figure4_loss,
     figure13_timeout_ratio,
+    figure_largen_cov,
+    run_largen_sweep,
     run_protocol_sweep,
 )
 from repro.experiments.replication import replicate
@@ -90,6 +93,13 @@ def _non_negative_int(value: str) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=None, help="run length, s")
     parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--scheduler",
+        choices=["heap", "wheel"],
+        default=None,
+        help="engine scheduler: the reference binary heap (default) or "
+        "the large-N timer-wheel fast path; results are identical",
+    )
     parser.add_argument("--processes", type=int, default=None, help="worker count")
     parser.add_argument("--csv", default=None, help="write results to CSV")
     parser.add_argument("--json", default=None, help="write results to JSON")
@@ -224,6 +234,8 @@ def _base_config(args: argparse.Namespace):
         overrides["duration"] = args.duration
     if getattr(args, "seed", None) is not None:
         overrides["seed"] = args.seed
+    if getattr(args, "scheduler", None) is not None:
+        overrides["scheduler"] = args.scheduler
     overrides.update(_workload_overrides(args))
     return paper_config(**overrides)
 
@@ -383,6 +395,20 @@ def _cmd_sweep_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_largen(args: argparse.Namespace) -> int:
+    """The large-N c.o.v. sweep (Figure 2 out to N=500)."""
+    base = _base_config(args)
+    sweep = run_largen_sweep(
+        args.clients,
+        base=base,
+        processes=args.processes,
+        scheduler=args.scheduler or "wheel",
+        **_runner_kwargs(args),
+    )
+    _emit_figure(figure_largen_cov(sweep, base), args)
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     """Regenerate every sweep-derived paper artifact into a directory."""
     import os
@@ -534,6 +560,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_common(figure_parser)
 
+    largen_parser = sub.add_parser(
+        "largen",
+        help="large-N c.o.v. sweep out to N=500 (timer-wheel fast path)",
+    )
+    largen_parser.add_argument(
+        "--clients",
+        type=parse_range,
+        default=list(LARGEN_CLIENT_COUNTS),
+        help="client counts, as start:stop:step or a comma list",
+    )
+    _add_common(largen_parser)
+
     cwnd_parser = sub.add_parser("cwnd", help="congestion-window traces (Figures 5-12)")
     cwnd_parser.add_argument("--protocol", default="reno")
     cwnd_parser.add_argument("--queue", default="fifo")
@@ -584,6 +622,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig3": _cmd_sweep_figure,
         "fig4": _cmd_sweep_figure,
         "fig13": _cmd_sweep_figure,
+        "largen": _cmd_largen,
         "cwnd": _cmd_cwnd,
         "all": _cmd_all,
         "replicate": _cmd_replicate,

@@ -34,6 +34,11 @@ _DIGEST_EXCLUDED_FIELDS = frozenset(
         "obs_trace",
         "obs_profile",
         "obs_queue_sample_interval",
+        # The engine scheduler is an implementation choice, not physics:
+        # both schedulers execute the exact same event sequence
+        # (tests/test_engine_differential.py), so results cached under
+        # one are valid under the other.
+        "scheduler",
     }
 )
 
@@ -156,6 +161,12 @@ class ScenarioConfig:
     obs_trace: Tuple[str, ...] = ()
     obs_profile: bool = False
     obs_queue_sample_interval: float = 0.0
+
+    # Engine scheduler: "heap" (the reference binary heap) or "wheel"
+    # (the large-N timer-wheel fast path).  Digest-excluded: both pop
+    # events in the exact same order, so every ScenarioMetrics value is
+    # identical either way -- the knob trades wall-clock time only.
+    scheduler: str = "heap"
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -282,6 +293,12 @@ class ScenarioConfig:
             )
         if self.obs_queue_sample_interval < 0:
             raise ValueError("obs_queue_sample_interval must be non-negative")
+        from repro.sim.engine import SCHEDULERS
+
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; choose from {SCHEDULERS}"
+            )
         if self.protocol == "reno_ecn" and self.queue == "fifo":
             raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")
 

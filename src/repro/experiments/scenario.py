@@ -38,6 +38,7 @@ from repro.obs.bundle import ObsBundle
 from repro.obs.engineprof import EngineProfiler, peak_rss_kb
 from repro.obs.probes import FlowProbe, QueueProbe
 from repro.obs.registry import NULL_REGISTRY, MetricRegistry
+from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, PacketQueue
 from repro.net.red import AdaptiveREDQueue, REDParams, REDQueue
 from repro.net.topology import DumbbellNetwork, DumbbellParams
@@ -169,7 +170,7 @@ class Scenario:
     def __init__(self, config: ScenarioConfig) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=config.scheduler)
         self.streams = RandomStreams(config.seed)
 
         # Flight recorder: a category-gated registry shared by every
@@ -229,6 +230,14 @@ class Scenario:
                 sample_interval=config.obs_queue_sample_interval,
             )
         self._build_flows()
+        # Packet free-listing: after each executed event, packets that
+        # nothing references any more (delivered, counted, dropped) are
+        # returned to the factory for reuse.  Purely an allocation
+        # optimization -- the engine's refcount guard means any packet
+        # still held (retransmit buffers, monitors, traces) is exempt.
+        self.sim.set_arg_recycler(
+            Packet, self.network.packet_factory.recycle
+        )
 
     # ------------------------------------------------------------------
     # Construction

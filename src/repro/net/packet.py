@@ -5,14 +5,23 @@ agent the paper used), TCP here is *packet-counted*: sequence numbers
 number whole packets, and windows/buffers are measured in packets.  That
 matches every number the paper reports (cwnd in packets, buffer size in
 packets, advertised window in packets).
+
+At large N packet allocation is one of the simulator's hottest paths, so
+:class:`Packet` is a ``__slots__`` class (no instance dict) and
+:class:`PacketFactory` keeps a free list: delivered packets that nothing
+references any more are handed back via :meth:`PacketFactory.recycle`
+(the engine's arg-recycler hook does this; see
+:meth:`repro.sim.engine.Simulator.set_arg_recycler`) and reused by the
+next mint.  Both mint paths reinitialize *every* field, so a recycled
+packet can never leak stale state (an old ECN mark, a stale SACK block)
+into a fresh packet.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 # A SACK block: an inclusive (first, last) range of received packets.
 SackBlock = Tuple[int, int]
@@ -25,7 +34,6 @@ class PacketType(enum.Enum):
     ACK = "ack"
 
 
-@dataclass
 class Packet:
     """One simulated packet.
 
@@ -49,22 +57,60 @@ class Packet:
             (first, last) ranges of out-of-order packets the receiver holds.
     """
 
-    uid: int
-    flow_id: int
-    src: str
-    dst: str
-    size: int
-    ptype: PacketType
-    seqno: int = -1
-    ackno: int = -1
-    created_at: float = 0.0
-    is_retransmit: bool = False
-    ecn_capable: bool = False
-    ecn_ce: bool = False
-    ecn_echo: bool = False
-    ts: float = 0.0
-    ts_echo: float = 0.0
-    sack_blocks: Tuple[SackBlock, ...] = ()
+    __slots__ = (
+        "uid",
+        "flow_id",
+        "src",
+        "dst",
+        "size",
+        "ptype",
+        "seqno",
+        "ackno",
+        "created_at",
+        "is_retransmit",
+        "ecn_capable",
+        "ecn_ce",
+        "ecn_echo",
+        "ts",
+        "ts_echo",
+        "sack_blocks",
+    )
+
+    def __init__(
+        self,
+        uid: int,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size: int,
+        ptype: PacketType,
+        seqno: int = -1,
+        ackno: int = -1,
+        created_at: float = 0.0,
+        is_retransmit: bool = False,
+        ecn_capable: bool = False,
+        ecn_ce: bool = False,
+        ecn_echo: bool = False,
+        ts: float = 0.0,
+        ts_echo: float = 0.0,
+        sack_blocks: Tuple[SackBlock, ...] = (),
+    ) -> None:
+        self.uid = uid
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.ptype = ptype
+        self.seqno = seqno
+        self.ackno = ackno
+        self.created_at = created_at
+        self.is_retransmit = is_retransmit
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = ecn_ce
+        self.ecn_echo = ecn_echo
+        self.ts = ts
+        self.ts_echo = ts_echo
+        self.sack_blocks = sack_blocks
 
     @property
     def is_data(self) -> bool:
@@ -88,15 +134,34 @@ class Packet:
 # Size of a pure acknowledgement, in bytes (TCP/IP headers only).
 ACK_SIZE_BYTES = 40
 
+#: Free-list bound; beyond this, retired packets go to the allocator.
+_FREE_LIST_CAP = 4096
 
-@dataclass
+
 class PacketFactory:
     """Mints packets with unique ids.
 
     One factory per simulation keeps uids dense and runs reproducible.
+    Retired packets handed to :meth:`recycle` are reused by the next
+    mint; recycling is purely an allocation optimization -- a recycled
+    packet is indistinguishable from a fresh one because the mint paths
+    assign every field.
     """
 
-    _counter: "itertools.count[int]" = field(default_factory=itertools.count)
+    __slots__ = ("_counter", "_free")
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._free: List[Packet] = []
+
+    def recycle(self, packet: Packet) -> None:
+        """Return a retired packet to the free list.
+
+        The caller asserts nothing references ``packet`` any more (the
+        engine's arg-recycler proves this with a refcount check).
+        """
+        if len(self._free) < _FREE_LIST_CAP:
+            self._free.append(packet)
 
     def data(
         self,
@@ -111,6 +176,26 @@ class PacketFactory:
         ts: Optional[float] = None,
     ) -> Packet:
         """Create a DATA packet."""
+        free = self._free
+        if free:
+            packet = free.pop()
+            packet.uid = next(self._counter)
+            packet.flow_id = flow_id
+            packet.src = src
+            packet.dst = dst
+            packet.size = size
+            packet.ptype = PacketType.DATA
+            packet.seqno = seqno
+            packet.ackno = -1
+            packet.created_at = now
+            packet.is_retransmit = is_retransmit
+            packet.ecn_capable = ecn_capable
+            packet.ecn_ce = False
+            packet.ecn_echo = False
+            packet.ts = now if ts is None else ts
+            packet.ts_echo = 0.0
+            packet.sack_blocks = ()
+            return packet
         return Packet(
             uid=next(self._counter),
             flow_id=flow_id,
@@ -138,6 +223,26 @@ class PacketFactory:
         sack_blocks: Tuple[SackBlock, ...] = (),
     ) -> Packet:
         """Create an ACK packet."""
+        free = self._free
+        if free:
+            packet = free.pop()
+            packet.uid = next(self._counter)
+            packet.flow_id = flow_id
+            packet.src = src
+            packet.dst = dst
+            packet.size = size
+            packet.ptype = PacketType.ACK
+            packet.seqno = -1
+            packet.ackno = ackno
+            packet.created_at = now
+            packet.is_retransmit = False
+            packet.ecn_capable = False
+            packet.ecn_ce = False
+            packet.ecn_echo = ecn_echo
+            packet.ts = 0.0
+            packet.ts_echo = ts_echo
+            packet.sack_blocks = sack_blocks
+            return packet
         return Packet(
             uid=next(self._counter),
             flow_id=flow_id,

@@ -51,17 +51,47 @@ class CategoryStat:
 
 @dataclass
 class EngineProfile:
-    """The summary an :class:`EngineProfiler` renders after a run."""
+    """The summary an :class:`EngineProfiler` renders after a run.
+
+    Two wall-time totals are tracked: ``wall_time`` is the sum of the
+    timed callback executions, while ``run_wall_time`` is the run
+    loop's end-to-end wall clock.  Their difference is the *engine
+    overhead* -- pop/dispatch/recycle work between callbacks -- which is
+    the number that separates the ``heap`` and ``wheel`` schedulers
+    (the callbacks themselves are scheduler-independent).
+    """
 
     events_executed: int
     wall_time: float
     sim_time: float
     max_heap_depth: int
     categories: List[CategoryStat] = field(default_factory=list)
+    run_wall_time: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
         return self.events_executed / self.wall_time if self.wall_time > 0 else 0.0
+
+    @property
+    def loop_events_per_sec(self) -> float:
+        """Events per second of end-to-end run-loop wall time."""
+        return (
+            self.events_executed / self.run_wall_time
+            if self.run_wall_time > 0
+            else 0.0
+        )
+
+    @property
+    def overhead_time(self) -> float:
+        """Run-loop wall time not spent inside callbacks (seconds)."""
+        return max(self.run_wall_time - self.wall_time, 0.0)
+
+    @property
+    def overhead_events_per_sec(self) -> float:
+        """Events per second of engine overhead: the scheduler's own
+        throughput, with callback execution time factored out."""
+        overhead = self.overhead_time
+        return self.events_executed / overhead if overhead > 0 else 0.0
 
     @property
     def sim_wall_ratio(self) -> float:
@@ -73,8 +103,12 @@ class EngineProfile:
         return {
             "events_executed": self.events_executed,
             "wall_time": self.wall_time,
+            "run_wall_time": self.run_wall_time,
+            "overhead_time": self.overhead_time,
             "sim_time": self.sim_time,
             "events_per_sec": self.events_per_sec,
+            "loop_events_per_sec": self.loop_events_per_sec,
+            "overhead_events_per_sec": self.overhead_events_per_sec,
             "sim_wall_ratio": self.sim_wall_ratio,
             "max_heap_depth": self.max_heap_depth,
             "categories": [
@@ -111,6 +145,12 @@ class EngineProfile:
             f"sim/wall {self.sim_wall_ratio:.1f}x, "
             f"heap depth <= {self.max_heap_depth})"
         )
+        if self.run_wall_time > 0:
+            header += (
+                f"\nEngine overhead: {self.overhead_time:.3f}s outside "
+                f"callbacks ({self.overhead_events_per_sec:,.0f} ev/s "
+                "scheduler throughput)"
+            )
         return format_table(
             ["category", "events", "wall_s", "wall_%", "mean_us"],
             rows,
@@ -131,6 +171,7 @@ class EngineProfiler:
         self._names: Dict[Any, str] = {}
         self.events = 0
         self.wall_time = 0.0
+        self.run_wall_time = 0.0
         self.max_heap_depth = 0
         self._sim_start: Optional[float] = None
         self._sim_end = 0.0
@@ -145,6 +186,11 @@ class EngineProfiler:
 
     def end_run(self, now: float) -> None:
         self._sim_end = max(self._sim_end, now)
+
+    def add_run_wall(self, seconds: float) -> None:
+        """Account one run loop's end-to-end wall time (the engine
+        calls this when a profiled ``run()`` returns)."""
+        self.run_wall_time += seconds
 
     def note_event(
         self, callback: Callable[..., Any], elapsed: float, heap_depth: int
@@ -186,6 +232,7 @@ class EngineProfiler:
             sim_time=sim_time,
             max_heap_depth=self.max_heap_depth,
             categories=categories,
+            run_wall_time=self.run_wall_time,
         )
 
 

@@ -8,26 +8,32 @@ original experiments.
 
 Public API:
 
-* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Simulator` -- the event loop (binary-heap
+  or timer-wheel scheduler, selected per instance).
 * :class:`~repro.sim.events.Event` -- a scheduled callback.
+* :class:`~repro.sim.wheel.TimerWheel` -- the large-N fast-path
+  pending-event store.
 * :class:`~repro.sim.timers.Timer` -- a restartable one-shot timer.
 * :class:`~repro.sim.rng.RandomStreams` -- named, reproducible random
   number streams derived from a single root seed.
 * :class:`~repro.sim.trace.TraceRecorder` -- structured event tracing.
 """
 
-from repro.sim.engine import Simulator, SimulationError
+from repro.sim.engine import Simulator, SimulationError, SCHEDULERS
 from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
 from repro.sim.timers import Timer
 from repro.sim.trace import TraceRecorder, TraceRow
+from repro.sim.wheel import TimerWheel
 
 __all__ = [
     "Event",
     "RandomStreams",
+    "SCHEDULERS",
     "SimulationError",
     "Simulator",
     "Timer",
+    "TimerWheel",
     "TraceRecorder",
     "TraceRow",
 ]

@@ -1,24 +1,89 @@
 """The discrete-event simulator (event loop).
 
-The engine is a classic calendar-queue simulator: a binary heap of
-:class:`~repro.sim.events.Event` objects ordered by
-``(time, priority, seq)``.  Components schedule callbacks; the loop pops
-them in time order and invokes them.  All model time is in seconds.
+The engine offers two interchangeable pending-event stores behind one
+``scheduler=`` knob:
+
+* ``"heap"`` (default) -- a classic binary heap of
+  :class:`~repro.sim.events.Event` objects ordered by
+  ``(time, priority, seq)``.  Simple, and the reference semantics.
+* ``"wheel"`` -- a hierarchical timer wheel
+  (:class:`~repro.sim.wheel.TimerWheel`) for the large-N fast path:
+  O(1) scheduling at integer-arithmetic cost instead of O(log n)
+  Python-level comparisons per operation.
+
+Both schedulers pop events in exactly the same order -- same times,
+same priority and FIFO tie-breaks -- so every simulation produces
+identical results under either; ``tests/test_engine_differential.py``
+enforces this.  Components schedule callbacks; the loop pops them in
+time order and invokes them.  All model time is in seconds.
+
+To cut allocation churn the engine free-lists :class:`Event` objects
+(and, via :meth:`Simulator.set_arg_recycler`, the caller's payload
+objects such as packets).  An object is recycled only when
+``sys.getrefcount`` proves the run loop holds the last reference, so a
+component that keeps an event handle (e.g. a pacing list or a timer)
+can never observe its event being resurrected for an unrelated
+callback; on interpreters without ``getrefcount`` pooling is disabled.
 
 Observability: an :class:`~repro.obs.engineprof.EngineProfiler` can be
 attached with :meth:`Simulator.attach_profiler`, after which every
 executed callback is timed and attributed to a category.  With no
 profiler attached, :meth:`Simulator.run` takes a fast loop that carries
 no timing code at all (``benchmarks/bench_obs_overhead.py`` keeps the
-disabled-path cost honest).
+disabled-path cost honest).  Constructing with ``debug=True`` swaps in
+a slow loop that recounts the live/pending-event invariants after
+every event (see :meth:`Simulator.check_invariants`).
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from typing import Any, Callable, List, Optional
 
 from repro.sim.events import Event
+from repro.sim.wheel import TimerWheel
+
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Free-list bound: events are tiny, but a drained queue should not pin
+#: an unbounded pile of dead objects.
+_POOL_CAP = 4096
+
+#: The scheduler knob's legal values.
+SCHEDULERS = ("heap", "wheel")
+
+
+def _frame_local_refcount() -> Optional[int]:
+    """Refcount of an object held by exactly one frame local, as seen by
+    ``sys.getrefcount`` called from that frame.
+
+    This is the event-recycling guard's baseline: at the recycle point
+    the run loop holds the popped event in one local, so a count above
+    this baseline proves some component still holds a handle and the
+    event must not be pooled.  Measuring the baseline (instead of
+    hardcoding 2) keeps the guard correct if the interpreter's calling
+    convention changes; without ``getrefcount`` (PyPy) pooling is off.
+    """
+    if _getrefcount is None:
+        return None
+    probe = object()
+    return _getrefcount(probe)
+
+
+def _tuple_member_refcount() -> Optional[int]:
+    """Baseline for an object referenced only by one tuple, observed
+    while iterating that tuple (the arg-recycling check context)."""
+    if _getrefcount is None:
+        return None
+    count = None
+    for item in (object(),):
+        count = _getrefcount(item)
+    return count
+
+
+_POOL_BASELINE = _frame_local_refcount()
+_ARG_BASELINE = _tuple_member_refcount()
 
 
 class SimulationError(RuntimeError):
@@ -30,7 +95,7 @@ class Simulator:
 
     Usage::
 
-        sim = Simulator()
+        sim = Simulator()                  # or Simulator(scheduler="wheel")
         sim.schedule(1.0, callback, arg1, arg2)
         sim.run(until=10.0)
 
@@ -39,17 +104,36 @@ class Simulator:
     * events fire in non-decreasing time order;
     * events scheduled for the same time fire in (priority, insertion)
       order, which makes runs deterministic;
-    * cancelled events never fire.
+    * cancelled events never fire;
+    * the guarantees (and the exact event order) are identical under
+      both schedulers.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        scheduler: str = "heap",
+        debug: bool = False,
+    ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
         self._now = float(start_time)
         self._queue: List[Event] = []
+        self._wheel: Optional[TimerWheel] = (
+            TimerWheel(start_time=self._now) if scheduler == "wheel" else None
+        )
+        self._scheduler = scheduler
+        self._debug = bool(debug)
         self._seq = 0
         self._events_executed = 0
         self._cancelled_pending = 0
         self._running = False
         self._profiler: Optional[Any] = None
+        self._event_pool: List[Event] = []
+        self._recycle_type: Optional[type] = None
+        self._recycle_fn: Optional[Callable[[Any], None]] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -60,6 +144,11 @@ class Simulator:
         return self._now
 
     @property
+    def scheduler(self) -> str:
+        """Which pending-event store this kernel runs on."""
+        return self._scheduler
+
+    @property
     def events_executed(self) -> int:
         """Number of events executed so far (diagnostics)."""
         return self._events_executed
@@ -68,11 +157,13 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of *queued* events, cancelled-but-unpopped included.
 
-        This is the raw heap size -- a capacity/memory measure.  A
-        cancelled event stays in the heap until it reaches the front
+        This is the raw queue size -- a capacity/memory measure.  A
+        cancelled event stays queued until it reaches the front
         (O(1) cancellation), so this over-counts the events that will
         actually fire; use :attr:`live_events` for that.
         """
+        if self._wheel is not None:
+            return self._wheel.size
         return len(self._queue)
 
     @property
@@ -80,9 +171,9 @@ class Simulator:
         """Number of queued events that will actually fire.
 
         Exactly ``pending_events`` minus the cancelled events not yet
-        discarded from the heap; maintained in O(1) per cancel/pop.
+        discarded from the queue; maintained in O(1) per cancel/pop.
         """
-        return len(self._queue) - self._cancelled_pending
+        return self.pending_events - self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Observability
@@ -108,6 +199,27 @@ class Simulator:
     # NOTE: Event.cancel() increments ``_cancelled_pending`` directly
     # (inlined for speed); pops that discard cancelled events decrement
     # it.  ``live_events`` is the only consumer.
+
+    # ------------------------------------------------------------------
+    # Pooling
+    # ------------------------------------------------------------------
+    def set_arg_recycler(
+        self, arg_type: type, recycle: Callable[[Any], None]
+    ) -> None:
+        """Free-list the caller's event payloads of ``arg_type``.
+
+        After each executed event, any argument whose concrete type is
+        exactly ``arg_type`` and whose refcount proves the engine holds
+        the last reference is handed to ``recycle`` for reuse (the
+        scenario wires the packet factory's free list here).  Payloads
+        still referenced anywhere -- a retransmission buffer, a trace, a
+        test fixture -- are never recycled.  No-op on interpreters
+        without ``sys.getrefcount``.
+        """
+        if _ARG_BASELINE is None:  # pragma: no cover - non-CPython only
+            return
+        self._recycle_type = arg_type
+        self._recycle_fn = recycle
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -136,11 +248,27 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time!r}; clock is already at {self._now!r}"
             )
-        # owner passed positionally: keyword calls cost ~10x more per
-        # Event and this is the hottest allocation in the simulator.
-        event = Event(time, self._seq, callback, args, priority, self)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.owner = self
+        else:
+            # owner passed positionally: keyword calls cost ~10x more per
+            # Event and this is the hottest allocation in the simulator.
+            event = Event(time, seq, callback, args, priority, self)
+        wheel = self._wheel
+        if wheel is None:
+            heapq.heappush(self._queue, event)
+        else:
+            wheel.push((time, priority, seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
@@ -152,6 +280,9 @@ class Simulator:
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is drained."""
+        if self._wheel is not None:
+            entry = self._wheel_head_live()
+            return None if entry is None else entry[0]
         self._drop_cancelled()
         if not self._queue:
             return None
@@ -159,10 +290,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next live event.  Returns False if none remain."""
-        self._drop_cancelled()
-        if not self._queue:
-            return False
-        event = heapq.heappop(self._queue)
+        if self._wheel is not None:
+            entry = self._wheel_head_live()
+            if entry is None:
+                return False
+            self._wheel.pop()
+            event = entry[3]
+            entry = None
+        else:
+            self._drop_cancelled()
+            if not self._queue:
+                return False
+            event = heapq.heappop(self._queue)
         event.owner = None
         self._now = event.time
         self._events_executed += 1
@@ -173,7 +312,22 @@ class Simulator:
             clock = profiler.clock
             start = clock()
             event.callback(*event.args)
-            profiler.note_event(event.callback, clock() - start, len(self._queue))
+            profiler.note_event(event.callback, clock() - start, self.pending_events)
+        recycle_type = self._recycle_type
+        if recycle_type is not None:
+            recycle = self._recycle_fn
+            for arg in event.args:
+                if type(arg) is recycle_type and _getrefcount(arg) == _ARG_BASELINE:
+                    recycle(arg)
+        pool = self._event_pool
+        if (
+            _POOL_BASELINE is not None
+            and len(pool) < _POOL_CAP
+            and _getrefcount(event) == _POOL_BASELINE
+        ):
+            event.callback = None
+            event.args = None
+            pool.append(event)
         return True
 
     def run(
@@ -196,22 +350,46 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
+            if self._debug:
+                return self._run_debug(until, max_events)
+            if self._wheel is not None:
+                if self._profiler is None:
+                    return self._run_fast_wheel(until, max_events)
+                return self._run_profiled_wheel(until, max_events)
             if self._profiler is None:
                 return self._run_fast(until, max_events)
             return self._run_profiled(until, max_events)
         finally:
             self._running = False
 
+    # ------------------------------------------------------------------
+    # Heap loops
+    # ------------------------------------------------------------------
     def _run_fast(self, until: Optional[float], max_events: Optional[int]) -> float:
         """The un-instrumented loop: no timing code on the hot path."""
         queue = self._queue
+        pool = self._event_pool
+        getrefcount = _getrefcount
+        baseline = _POOL_BASELINE
+        arg_baseline = _ARG_BASELINE
+        recycle_type = self._recycle_type
+        recycle = self._recycle_fn
+        heappop = heapq.heappop
         executed = 0
         while True:
             if max_events is not None and executed >= max_events:
                 break
             while queue and queue[0].cancelled:
-                heapq.heappop(queue)
+                dead = heappop(queue)
                 self._cancelled_pending -= 1
+                if (
+                    baseline is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(dead) == baseline
+                ):
+                    dead.callback = None
+                    dead.args = None
+                    pool.append(dead)
             if not queue:
                 if until is not None and until > self._now:
                     self._now = until
@@ -220,11 +398,23 @@ class Simulator:
             if until is not None and event.time > until:
                 self._now = until
                 break
-            heapq.heappop(queue)
+            heappop(queue)
             event.owner = None
             self._now = event.time
             self._events_executed += 1
             event.callback(*event.args)
+            if recycle_type is not None:
+                for arg in event.args:
+                    if type(arg) is recycle_type and getrefcount(arg) == arg_baseline:
+                        recycle(arg)
+            if (
+                baseline is not None
+                and len(pool) < _POOL_CAP
+                and getrefcount(event) == baseline
+            ):
+                event.callback = None
+                event.args = None
+                pool.append(event)
             executed += 1
         return self._now
 
@@ -235,15 +425,31 @@ class Simulator:
         profiler = self._profiler
         clock = profiler.clock
         queue = self._queue
+        pool = self._event_pool
+        getrefcount = _getrefcount
+        baseline = _POOL_BASELINE
+        arg_baseline = _ARG_BASELINE
+        recycle_type = self._recycle_type
+        recycle = self._recycle_fn
+        heappop = heapq.heappop
         executed = 0
         profiler.begin_run(self._now)
+        loop_start = clock()
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     break
                 while queue and queue[0].cancelled:
-                    heapq.heappop(queue)
+                    dead = heappop(queue)
                     self._cancelled_pending -= 1
+                    if (
+                        baseline is not None
+                        and len(pool) < _POOL_CAP
+                        and getrefcount(dead) == baseline
+                    ):
+                        dead.callback = None
+                        dead.args = None
+                        pool.append(dead)
                 if not queue:
                     if until is not None and until > self._now:
                         self._now = until
@@ -252,7 +458,7 @@ class Simulator:
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(queue)
+                heappop(queue)
                 event.owner = None
                 self._now = event.time
                 self._events_executed += 1
@@ -260,16 +466,297 @@ class Simulator:
                 start = clock()
                 event.callback(*event.args)
                 profiler.note_event(event.callback, clock() - start, depth)
+                if recycle_type is not None:
+                    for arg in event.args:
+                        if (
+                            type(arg) is recycle_type
+                            and getrefcount(arg) == arg_baseline
+                        ):
+                            recycle(arg)
+                if (
+                    baseline is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(event) == baseline
+                ):
+                    event.callback = None
+                    event.args = None
+                    pool.append(event)
                 executed += 1
         finally:
+            profiler.add_run_wall(clock() - loop_start)
             profiler.end_run(self._now)
         return self._now
 
     # ------------------------------------------------------------------
+    # Wheel loops
+    # ------------------------------------------------------------------
+    def _run_fast_wheel(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> float:
+        """Un-instrumented loop over the timer wheel.
+
+        The wheel's peek/pop fast path is inlined: whenever the ready
+        heap is non-empty its head *is* the global minimum (entries
+        still in wheel slots are strictly later), so ``peek()`` --
+        which only advances the cursor on an empty ready heap -- is
+        called solely to refill.  ``_refill`` rebinds ``wheel._ready``,
+        hence the local ``ready`` refresh after every ``peek()``.
+        """
+        wheel = self._wheel
+        peek = wheel.peek
+        ready = wheel._ready
+        heappop = heapq.heappop
+        pool = self._event_pool
+        getrefcount = _getrefcount
+        baseline = _POOL_BASELINE
+        arg_baseline = _ARG_BASELINE
+        recycle_type = self._recycle_type
+        recycle = self._recycle_fn
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            if ready:
+                entry = ready[0]
+            else:
+                entry = peek()
+                ready = wheel._ready
+            while entry is not None and entry[3].cancelled:
+                heappop(ready)
+                wheel._size -= 1
+                self._cancelled_pending -= 1
+                dead = entry[3]
+                entry = None
+                if (
+                    baseline is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(dead) == baseline
+                ):
+                    dead.callback = None
+                    dead.args = None
+                    pool.append(dead)
+                if ready:
+                    entry = ready[0]
+                else:
+                    entry = peek()
+                    ready = wheel._ready
+            if entry is None:
+                if until is not None and until > self._now:
+                    self._now = until
+                break
+            time = entry[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heappop(ready)
+            wheel._size -= 1
+            event = entry[3]
+            entry = None
+            event.owner = None
+            self._now = time
+            self._events_executed += 1
+            event.callback(*event.args)
+            if recycle_type is not None:
+                for arg in event.args:
+                    if type(arg) is recycle_type and getrefcount(arg) == arg_baseline:
+                        recycle(arg)
+            if (
+                baseline is not None
+                and len(pool) < _POOL_CAP
+                and getrefcount(event) == baseline
+            ):
+                event.callback = None
+                event.args = None
+                pool.append(event)
+            executed += 1
+        return self._now
+
+    def _run_profiled_wheel(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> float:
+        """Profiled loop over the timer wheel (same inlined fast path
+        as :meth:`_run_fast_wheel`)."""
+        profiler = self._profiler
+        clock = profiler.clock
+        wheel = self._wheel
+        peek = wheel.peek
+        ready = wheel._ready
+        heappop = heapq.heappop
+        pool = self._event_pool
+        getrefcount = _getrefcount
+        baseline = _POOL_BASELINE
+        arg_baseline = _ARG_BASELINE
+        recycle_type = self._recycle_type
+        recycle = self._recycle_fn
+        executed = 0
+        profiler.begin_run(self._now)
+        loop_start = clock()
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                if ready:
+                    entry = ready[0]
+                else:
+                    entry = peek()
+                    ready = wheel._ready
+                while entry is not None and entry[3].cancelled:
+                    heappop(ready)
+                    wheel._size -= 1
+                    self._cancelled_pending -= 1
+                    dead = entry[3]
+                    entry = None
+                    if (
+                        baseline is not None
+                        and len(pool) < _POOL_CAP
+                        and getrefcount(dead) == baseline
+                    ):
+                        dead.callback = None
+                        dead.args = None
+                        pool.append(dead)
+                    if ready:
+                        entry = ready[0]
+                    else:
+                        entry = peek()
+                        ready = wheel._ready
+                if entry is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heappop(ready)
+                wheel._size -= 1
+                event = entry[3]
+                entry = None
+                event.owner = None
+                self._now = time
+                self._events_executed += 1
+                depth = wheel._size
+                start = clock()
+                event.callback(*event.args)
+                profiler.note_event(event.callback, clock() - start, depth)
+                if recycle_type is not None:
+                    for arg in event.args:
+                        if (
+                            type(arg) is recycle_type
+                            and getrefcount(arg) == arg_baseline
+                        ):
+                            recycle(arg)
+                if (
+                    baseline is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(event) == baseline
+                ):
+                    event.callback = None
+                    event.args = None
+                    pool.append(event)
+                executed += 1
+        finally:
+            profiler.add_run_wall(clock() - loop_start)
+            profiler.end_run(self._now)
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Debug loop
+    # ------------------------------------------------------------------
+    def _run_debug(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> float:
+        """Slow loop for ``debug=True``: invariants after every event."""
+        self.check_invariants()
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                if until is not None and until > self._now:
+                    self._now = until
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            executed += 1
+            self.check_invariants()
+        return self._now
+
+    def check_invariants(self) -> None:
+        """Recount the queue and verify the O(1) event accounting.
+
+        Raises :class:`SimulationError` if the incrementally maintained
+        ``pending_events``/``live_events`` counters diverge from a full
+        recount, or if the event free list holds an event that is still
+        armed or still queued (a resurrected event).  Cheap enough for
+        tests, far too slow for real runs -- the ``debug=True`` loop
+        calls it after every event.
+        """
+        if self._wheel is not None:
+            queued = [entry[3] for entry in self._wheel.entries()]
+        else:
+            queued = list(self._queue)
+        live = sum(1 for event in queued if not event.cancelled)
+        if len(queued) != self.pending_events:
+            raise SimulationError(
+                f"pending_events diverged: counter says {self.pending_events}, "
+                f"recount says {len(queued)}"
+            )
+        if live != self.live_events:
+            raise SimulationError(
+                f"live_events diverged: counter says {self.live_events}, "
+                f"recount says {live} ({len(queued)} queued)"
+            )
+        pooled = {id(event) for event in self._event_pool}
+        for event in self._event_pool:
+            if (
+                event.callback is not None
+                or event.args is not None
+                or event.owner is not None
+            ):
+                raise SimulationError(f"pooled event is still armed: {event!r}")
+        for event in queued:
+            if id(event) in pooled:
+                raise SimulationError(f"queued event is also pooled: {event!r}")
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _wheel_head_live(self) -> Optional[Any]:
+        """The wheel's head entry, discarding cancelled ones (with the
+        same lazy-pop accounting as the heap's :meth:`_drop_cancelled`)."""
+        wheel = self._wheel
+        pool = self._event_pool
+        entry = wheel.peek()
+        while entry is not None and entry[3].cancelled:
+            wheel.pop()
+            self._cancelled_pending -= 1
+            dead = entry[3]
+            entry = None
+            if (
+                _POOL_BASELINE is not None
+                and len(pool) < _POOL_CAP
+                and _getrefcount(dead) == _POOL_BASELINE
+            ):
+                dead.callback = None
+                dead.args = None
+                pool.append(dead)
+            entry = wheel.peek()
+        return entry
+
     def _drop_cancelled(self) -> None:
         queue = self._queue
+        pool = self._event_pool
         while queue and queue[0].cancelled:
-            heapq.heappop(queue)
+            dead = heapq.heappop(queue)
             self._cancelled_pending -= 1
+            if (
+                _POOL_BASELINE is not None
+                and len(pool) < _POOL_CAP
+                and _getrefcount(dead) == _POOL_BASELINE
+            ):
+                dead.callback = None
+                dead.args = None
+                pool.append(dead)

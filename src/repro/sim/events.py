@@ -21,6 +21,15 @@ class Event:
     event keeps the simulator's live-event counter exact without any
     queue scan; cancelling an event that already fired is a no-op for
     the counter.
+
+    Instances are free-listed by the simulator: after an event fires
+    (or is discarded as cancelled) the run loop may disarm it
+    (``callback``/``args`` cleared) and reuse the object for a later
+    ``schedule`` call -- but only when a refcount check proves no
+    component still holds the handle, so a held Event never changes
+    identity under its owner (tests/test_event_pool.py).  The
+    ``__slots__`` layout keeps the object dict-free: events are the
+    hottest allocation in the simulator.
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "owner")

@@ -18,7 +18,14 @@ class Timer:
     The callback receives no arguments; bind state via a closure or a
     bound method.  Restarting a pending timer cancels the previous
     expiry, exactly like ns-2's ``TimerHandler::resched``.
+
+    The held :class:`Event` handle is safe against the engine's event
+    free list: the engine recycles an event only once nothing outside
+    its run loop references it, so ``_event`` can never be silently
+    rebound to an unrelated callback (see DESIGN.md section 10).
     """
+
+    __slots__ = ("_sim", "_callback", "_event")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim

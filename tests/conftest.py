@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/goldens/*.json from the current code instead of "
+            "comparing against them (review the diff before committing)"
+        ),
+    )
