@@ -1,0 +1,231 @@
+"""Sweep-executor throughput: persistent pool vs per-task processes.
+
+The acceptance gate of the persistent worker pool.  A mixed-size grid
+(64 cells by default: client counts and durations interleaved so cell
+costs are heterogeneous) runs under both executors at each jobs level,
+with a per-cell wall-clock deadline so jobs=1 also exercises worker
+subprocesses rather than the in-process fast path.  Sweep throughput is
+``cells / wall seconds``, best of ``REPRO_BENCH_SWEEP_REPS`` sweeps.
+
+What the per-task executor pays per cell — a process fork/spawn (plus a
+full re-import under spawn), pickling the metrics through the result
+pipe, and the scheduler's reap latency — the persistent pool pays once
+per worker, so its advantage grows as cells shrink.  The gate asserts
+the pool delivers at least ``REPRO_BENCH_SWEEP_SPEEDUP`` (default 2.0)
+times the per-task throughput at the highest jobs level, and at least
+``REPRO_BENCH_SWEEP_JOBS1_FLOOR`` (default 1.0: no regression) at
+jobs=1.
+
+Both executors run the identical grid, so every cell is also
+cross-checked for byte-identical :class:`ScenarioMetrics` (NaN-
+tolerant, wall-clock fields excluded) — a differential test at
+benchmark scale.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SWEEP_CELLS``       -- grid size (default 64).
+* ``REPRO_BENCH_SWEEP_JOBS``        -- comma list of worker counts
+  (default ``1,2,4``; the gate applies at the highest).
+* ``REPRO_BENCH_SWEEP_REPS``        -- sweeps per (executor, jobs)
+  cell; the fastest is kept (default 2).
+* ``REPRO_BENCH_SWEEP_SPEEDUP``     -- minimum persistent/per-task
+  throughput ratio at the gate jobs level (default 2.0; 0 disables).
+* ``REPRO_BENCH_SWEEP_JOBS1_FLOOR`` -- minimum ratio at jobs=1
+  (default 1.0; 0 disables).
+* ``REPRO_BENCH_SWEEP_JSON``        -- write the measured rows to this
+  JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import format_table
+from repro.experiments.config import ScenarioConfig, paper_config
+from repro.experiments.sweep import run_many
+
+from conftest import bench_seed, emit
+
+#: Interleaved cell sizes: (n_clients, duration) pairs cycled over the
+#: grid so neighbouring cells differ in expected cost by up to ~10x.
+CELL_SHAPES: Tuple[Tuple[int, float], ...] = (
+    (2, 0.4),
+    (6, 0.8),
+    (3, 1.6),
+    (8, 0.4),
+    (2, 1.2),
+    (4, 0.8),
+)
+
+#: Per-cell wall-clock deadline: generous (no cell comes close), but
+#: forces subprocess execution at jobs=1 so both executors are
+#: benchmarked, not the in-process fast path.
+CELL_TIMEOUT = 120.0
+
+POOLS = ("per-task", "persistent")
+
+
+def sweep_cells() -> int:
+    return int(os.environ.get("REPRO_BENCH_SWEEP_CELLS", "64"))
+
+
+def sweep_jobs() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_SWEEP_JOBS", "1,2,4")
+    return [int(part) for part in raw.split(",") if part]
+
+
+def sweep_reps() -> int:
+    return int(os.environ.get("REPRO_BENCH_SWEEP_REPS", "2"))
+
+
+def speedup_floor() -> float:
+    return float(os.environ.get("REPRO_BENCH_SWEEP_SPEEDUP", "2.0"))
+
+
+def jobs1_floor() -> float:
+    return float(os.environ.get("REPRO_BENCH_SWEEP_JOBS1_FLOOR", "1.0"))
+
+
+def mixed_grid() -> List[ScenarioConfig]:
+    """``sweep_cells()`` configs with interleaved heterogeneous sizes."""
+    base_seed = bench_seed()
+    configs = []
+    for i in range(sweep_cells()):
+        n_clients, duration = CELL_SHAPES[i % len(CELL_SHAPES)]
+        configs.append(
+            paper_config(
+                n_clients=n_clients,
+                duration=duration,
+                seed=base_seed + i,
+            )
+        )
+    return configs
+
+
+def _run_sweep(configs: List[ScenarioConfig], pool: str, jobs: int):
+    """One timed sweep; returns (wall seconds, results)."""
+    start = time.perf_counter()
+    results = run_many(
+        configs,
+        processes=jobs,
+        timeout=CELL_TIMEOUT,
+        retries=0,
+        pool=pool,
+        schedule="cost",
+    )
+    return time.perf_counter() - start, results
+
+
+def run_executor_matrix() -> Tuple[List[dict], Dict[str, list]]:
+    """(rows, per-pool results at the gate jobs level).
+
+    Rows carry pool, jobs, best wall seconds, and cells/sec; the
+    returned results back the differential check.
+    """
+    configs = mixed_grid()
+    rows: List[dict] = []
+    gate_results: Dict[str, list] = {}
+    gate_jobs = max(sweep_jobs())
+    for jobs in sweep_jobs():
+        for pool in POOLS:
+            best_wall = float("inf")
+            results = None
+            for _ in range(max(sweep_reps(), 1)):
+                wall, results = _run_sweep(configs, pool, jobs)
+                best_wall = min(best_wall, wall)
+            failed = sum(1 for m in results if m.failed)
+            assert failed == 0, f"{failed} cells failed under {pool}/jobs={jobs}"
+            rows.append(
+                {
+                    "pool": pool,
+                    "jobs": jobs,
+                    "cells": len(configs),
+                    "wall_seconds": best_wall,
+                    "cells_per_sec": len(configs) / best_wall,
+                }
+            )
+            if jobs == gate_jobs:
+                gate_results[pool] = results
+    return rows, gate_results
+
+
+def _ratio(rows: List[dict], jobs: int) -> float:
+    by_pool = {row["pool"]: row for row in rows if row["jobs"] == jobs}
+    if "persistent" not in by_pool or "per-task" not in by_pool:
+        return float("nan")
+    return by_pool["persistent"]["cells_per_sec"] / by_pool["per-task"][
+        "cells_per_sec"
+    ]
+
+
+def executor_table(rows: List[dict]) -> str:
+    table_rows = []
+    for jobs in sorted({row["jobs"] for row in rows}):
+        by_pool = {row["pool"]: row for row in rows if row["jobs"] == jobs}
+        table_rows.append(
+            [
+                jobs,
+                round(by_pool["per-task"]["wall_seconds"], 3),
+                round(by_pool["persistent"]["wall_seconds"], 3),
+                round(by_pool["per-task"]["cells_per_sec"], 1),
+                round(by_pool["persistent"]["cells_per_sec"], 1),
+                round(_ratio(rows, jobs), 2),
+            ]
+        )
+    return format_table(
+        [
+            "jobs",
+            "per-task s",
+            "pool s",
+            "per-task cells/s",
+            "pool cells/s",
+            "speedup",
+        ],
+        table_rows,
+        title=(
+            f"Sweep executor throughput, {sweep_cells()}-cell mixed grid, "
+            f"best of {sweep_reps()} (cells/sec, higher is better)"
+        ),
+    )
+
+
+def test_sweep_executor_speedup():
+    """The matrix, the table, the differential check, and the gates."""
+    rows, gate_results = run_executor_matrix()
+    emit(executor_table(rows))
+    json_path = os.environ.get("REPRO_BENCH_SWEEP_JSON")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2)
+        emit(f"wrote {json_path}")
+
+    # Differential: both executors must produce identical metrics for
+    # every cell (NaN-tolerant equality; wall-clock fields excluded).
+    per_task = gate_results["per-task"]
+    persistent = gate_results["persistent"]
+    for i, (a, b) in enumerate(zip(per_task, persistent)):
+        assert a == b, f"executors diverged at cell {i}: {a} != {b}"
+
+    gate_jobs = max(sweep_jobs())
+    floor = speedup_floor()
+    if floor > 0:
+        ratio = _ratio(rows, gate_jobs)
+        assert ratio >= floor, (
+            f"persistent pool is {ratio:.2f}x per-task throughput at "
+            f"jobs={gate_jobs}, below the {floor:g}x floor"
+        )
+    floor1 = jobs1_floor()
+    if floor1 > 0 and 1 in sweep_jobs():
+        ratio1 = _ratio(rows, 1)
+        assert ratio1 >= floor1, (
+            f"persistent pool regresses at jobs=1: {ratio1:.2f}x per-task "
+            f"throughput, below the {floor1:g}x floor"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    measured_rows, _ = run_executor_matrix()
+    emit(executor_table(measured_rows))

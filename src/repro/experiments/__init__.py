@@ -6,8 +6,11 @@
   simulation and extracts every metric the paper reports.
 * :mod:`repro.experiments.sweep` -- runs grids of scenarios, optionally
   across processes.
-* :mod:`repro.experiments.runner` -- fault-tolerant sweep executor with
-  timeouts, retries, and crash isolation.
+* :mod:`repro.experiments.runner` -- fault-tolerant sweep executor:
+  persistent worker pool (or per-task processes), timeouts, retries,
+  and crash isolation.
+* :mod:`repro.experiments.costmodel` -- learned per-cell wall-time
+  model behind the longest-expected-first sweep schedule.
 * :mod:`repro.experiments.cache` -- content-addressed on-disk result
   cache keyed by :meth:`ScenarioConfig.config_digest`.
 * :mod:`repro.experiments.runlog` -- JSONL progress telemetry.

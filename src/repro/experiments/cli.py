@@ -9,10 +9,15 @@ Subcommands regenerate each paper artifact from the terminal::
     repro-tcp cwnd --protocol vegas --clients 30
 
 Sweeps accept ``--csv PATH`` / ``--json PATH`` to persist results, plus
-execution-backbone flags: ``--cache-dir`` / ``--resume`` (content-
-addressed result cache; interrupted sweeps pick up where they stopped),
-``--timeout`` / ``--retries`` (kill and retry hung or crashed workers),
-and ``--run-log`` / ``--progress`` (JSONL telemetry / live counters).
+execution-backbone flags: ``--jobs/-j`` (worker count), ``--pool``
+(``persistent`` long-lived workers, the default, or ``per-task``
+processes), ``--schedule`` (``cost`` longest-expected-first or
+``fifo``), ``--cache-dir`` / ``--resume`` (content-addressed result
+cache; interrupted sweeps pick up where they stopped), ``--timeout`` /
+``--retries`` (kill and retry hung or crashed workers), and
+``--run-log`` / ``--progress`` (JSONL telemetry / live counters).
+``repro-tcp sweeplog RUN.jsonl`` folds a run log back into a makespan /
+worker-utilization report.
 
 Observability (the flight recorder)::
 
@@ -101,6 +106,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "the large-N timer-wheel fast path; results are identical",
     )
     parser.add_argument("--processes", type=int, default=None, help="worker count")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        dest="processes",
+        type=int,
+        default=None,
+        help="worker count (alias for --processes)",
+    )
+    parser.add_argument(
+        "--pool",
+        choices=["persistent", "per-task"],
+        default="persistent",
+        help="sweep executor: long-lived workers draining the grid "
+        "(default) or one process per attempt",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["cost", "fifo"],
+        default="cost",
+        help="cell ordering: longest-expected-first via the cost model "
+        "(default, minimizes makespan) or submission order",
+    )
     parser.add_argument("--csv", default=None, help="write results to CSV")
     parser.add_argument("--json", default=None, help="write results to JSON")
     parser.add_argument(
@@ -149,6 +176,8 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
         "cache": cache_dir,
         "timeout": args.timeout,
         "retries": args.retries,
+        "pool": getattr(args, "pool", "persistent"),
+        "schedule": getattr(args, "schedule", "cost"),
     }
     if args.run_log or args.progress:
         kwargs["run_log"] = stderr_runlog(path=args.run_log, progress=args.progress)
@@ -376,6 +405,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         payload["wall_time_total"] = result.wall_time
         payload["peak_rss_kb"] = result.peak_rss_kb
         results_to_json(payload, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_sweeplog(args: argparse.Namespace) -> int:
+    """Summarize a sweep's JSONL run log: makespan, worker utilization,
+    per-worker load, respawns, and the slowest cells."""
+    from repro.experiments.runlog import (
+        read_runlog,
+        render_runlog_summary,
+        summarize_runlog,
+    )
+
+    events = read_runlog(args.path)
+    if not events:
+        print(f"no events in {args.path}")
+        return 1
+    print(render_runlog_summary(events))
+    if args.json:
+        summary = summarize_runlog(events)
+        summary["per_worker"] = {
+            str(worker): stats for worker, stats in summary["per_worker"].items()
+        }
+        results_to_json(summary, args.json)
         print(f"\nwrote {args.json}")
     return 0
 
@@ -608,6 +661,15 @@ def build_parser() -> argparse.ArgumentParser:
     dependence_parser.add_argument("--clients", type=int, default=40)
     _add_common(dependence_parser)
 
+    sweeplog_parser = sub.add_parser(
+        "sweeplog",
+        help="summarize a sweep run log (makespan, worker utilization)",
+    )
+    sweeplog_parser.add_argument("path", help="JSONL run log (--run-log output)")
+    sweeplog_parser.add_argument(
+        "--json", default=None, help="write the summary as JSON"
+    )
+
     return parser
 
 
@@ -627,6 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "all": _cmd_all,
         "replicate": _cmd_replicate,
         "dependence": _cmd_dependence,
+        "sweeplog": _cmd_sweeplog,
     }
     return handlers[args.command](args)
 

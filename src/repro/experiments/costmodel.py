@@ -1,0 +1,133 @@
+"""Per-cell wall-time prediction for sweep scheduling.
+
+A sweep grid is heterogeneous: a Vegas cell at N=500 costs orders of
+magnitude more wall time than a UDP cell at N=2.  Launching cells in
+input order makes the makespan hostage to whichever big cell happens to
+land last; the classic fix is LPT (longest processing time first)
+scheduling, which needs a per-cell cost estimate.
+
+:class:`CostModel` predicts a cell's wall time as::
+
+    estimate(config) = alpha[lane] * duration * n_clients
+
+where a *lane* is the ``(protocol, queue, workload)`` triple (the knobs
+that change per-event cost, not event count) and ``alpha`` is learned
+from observed wall times: every completed cell refines its lane, cache
+hits contribute their recorded ``perf_wall_time``, and a previous run's
+JSONL :class:`~repro.experiments.runlog.RunLog` can seed the model
+before the first cell launches.  With no observations at all the model
+degrades to pure ``duration * n_clients`` ordering, which is already a
+good LPT key because simulated event count scales with both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.experiments.config import ScenarioConfig
+
+#: The scheduling lanes a SweepRunner can run under.
+SCHEDULES = ("cost", "fifo")
+
+_Lane = Tuple[str, str, str]
+
+
+def cell_units(config: ScenarioConfig) -> float:
+    """The size proxy a cost estimate scales with.
+
+    Simulated event count grows roughly linearly in both the simulated
+    duration and the number of clients, so their product is the natural
+    unit of work for a first-order wall-time model.
+    """
+    return max(config.duration, 1e-9) * max(config.n_clients, 1)
+
+
+class CostModel:
+    """Learned ``wall seconds per (sim second x client)`` by lane."""
+
+    def __init__(self) -> None:
+        self._wall: Dict[_Lane, float] = {}
+        self._units: Dict[_Lane, float] = {}
+        self._total_wall = 0.0
+        self._total_units = 0.0
+
+    @staticmethod
+    def lane(config: ScenarioConfig) -> _Lane:
+        return (config.protocol, config.queue, config.workload)
+
+    # ------------------------------------------------------------------
+    def observe(self, config: ScenarioConfig, wall_seconds: float) -> None:
+        """Fold one completed cell's measured wall time into the model."""
+        if not (wall_seconds > 0.0):  # rejects NaN and nonsense
+            return
+        units = cell_units(config)
+        key = self.lane(config)
+        self._wall[key] = self._wall.get(key, 0.0) + wall_seconds
+        self._units[key] = self._units.get(key, 0.0) + units
+        self._total_wall += wall_seconds
+        self._total_units += units
+
+    def observe_metrics(self, config: ScenarioConfig, metrics) -> None:
+        """Observe a cached :class:`ScenarioMetrics` record, if it
+        carries a finite recorded wall time (``perf_wall_time``)."""
+        wall = getattr(metrics, "perf_wall_time", None)
+        if wall is not None and wall == wall and wall > 0.0:
+            self.observe(config, float(wall))
+
+    def seed_from_runlog(
+        self,
+        events: Iterable[Mapping],
+        configs_by_digest: Mapping[str, ScenarioConfig],
+    ) -> int:
+        """Seed from a previous run's JSONL events (``task_done`` rows
+        whose digest matches a config in this grid).  Returns the number
+        of observations folded in."""
+        seeded = 0
+        for event in events:
+            if event.get("event") != "task_done":
+                continue
+            config = configs_by_digest.get(event.get("digest", ""))
+            elapsed = event.get("elapsed")
+            if config is None or not isinstance(elapsed, (int, float)):
+                continue
+            self.observe(config, float(elapsed))
+            seeded += 1
+        return seeded
+
+    # ------------------------------------------------------------------
+    def alpha(self, config: ScenarioConfig) -> float:
+        """Wall seconds per unit for this config's lane (global fallback
+        when the lane has no observations; 1.0 when nothing has)."""
+        key = self.lane(config)
+        units = self._units.get(key, 0.0)
+        if units > 0.0:
+            return self._wall[key] / units
+        if self._total_units > 0.0:
+            return self._total_wall / self._total_units
+        return 1.0
+
+    def estimate(self, config: ScenarioConfig) -> float:
+        """Predicted wall seconds for one cell."""
+        return self.alpha(config) * cell_units(config)
+
+    @property
+    def observations(self) -> int:
+        """How many lanes have at least one observation."""
+        return len(self._units)
+
+
+def make_cost_model(
+    schedule: str,
+    configs: Iterable[ScenarioConfig] = (),
+    runlog_events: Iterable[Mapping] = (),
+) -> Optional[CostModel]:
+    """A seeded :class:`CostModel` for ``schedule="cost"``, else None."""
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+    if schedule != "cost":
+        return None
+    model = CostModel()
+    if runlog_events:
+        by_digest = {config.config_digest(): config for config in configs}
+        model.seed_from_runlog(runlog_events, by_digest)
+    return model

@@ -8,15 +8,29 @@ one-line status the CLI prints.
 
 Events (all carry ``t`` = wall-clock seconds and ``event``):
 
-* ``sweep_start``  -- ``total`` cells, worker count, cache directory.
-* ``task_start``   -- ``index``, ``digest``, ``label``, ``attempt``.
-* ``cache_hit``    -- ``index``, ``digest``.
-* ``task_done``    -- ``index``, ``digest``, ``elapsed``, plus engine
-  telemetry when available: ``events_executed``, ``sim_wall_ratio``,
-  ``peak_rss_kb``.
-* ``task_retry``   -- ``index``, ``digest``, ``attempt``, ``error``, ``delay``.
-* ``task_failed``  -- ``index``, ``digest``, ``error`` (retries exhausted).
-* ``sweep_end``    -- final counters.
+* ``sweep_start``    -- ``total`` cells, worker count, cache directory,
+  executor ``pool`` and ``schedule``.
+* ``task_start``     -- ``index``, ``digest``, ``label``, ``attempt``,
+  and (persistent pool) the ``worker`` id it was dispatched to.
+* ``cache_hit``      -- ``index``, ``digest``.
+* ``task_done``      -- ``index``, ``digest``, ``elapsed``, ``attempt``
+  count, scheduling ``lane`` (``cost``/``fifo``), ``worker`` id, plus
+  engine telemetry when available: ``events_executed``,
+  ``sim_wall_ratio``, ``peak_rss_kb``.
+* ``task_retry``     -- ``index``, ``digest``, ``attempt``, ``error``,
+  ``delay``.
+* ``task_failed``    -- ``index``, ``digest``, ``error`` (retries
+  exhausted).
+* ``worker_spawn``   -- ``worker`` id (persistent pool).
+* ``worker_respawn`` -- ``worker`` id of the replacement, ``reason``
+  (``crash``/``timeout``), the cell ``index`` it was stuck on, and the
+  ``replaced`` worker id.  Only the stuck worker is replaced.
+* ``sweep_end``      -- final counters plus ``makespan`` (wall seconds
+  start to end), total ``busy`` worker-seconds, and ``utilization``
+  (busy / (makespan x workers)).
+
+:func:`summarize_runlog` folds an event stream back into a makespan /
+worker-utilization report (the ``repro-tcp sweeplog`` subcommand).
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ class Progress:
     failed: int = 0
     cached: int = 0
     retried: int = 0
+    respawned: int = 0
 
     @property
     def finished(self) -> int:
@@ -75,6 +90,9 @@ class RunLog:
         self.echo = echo
         self.progress = Progress()
         self._handle: Optional[TextIO] = None
+        self._sweep_t0: Optional[float] = None
+        self._workers: int = 0
+        self._busy: float = 0.0
         if path is not None:
             self._handle = open(path, "a", encoding="utf-8")
 
@@ -111,11 +129,29 @@ class RunLog:
     # ------------------------------------------------------------------
     def sweep_start(self, total: int, **data: Any) -> None:
         self.progress.total = total
+        self._sweep_t0 = time.monotonic()
+        self._workers = int(data.get("workers") or 0)
+        self._busy = 0.0
         self.emit("sweep_start", total=total, **data)
 
-    def task_start(self, index: int, digest: str, label: str, attempt: int) -> None:
+    def task_start(
+        self,
+        index: int,
+        digest: str,
+        label: str,
+        attempt: int,
+        worker: Optional[int] = None,
+    ) -> None:
+        extras: Dict[str, Any] = {}
+        if worker is not None:
+            extras["worker"] = worker
         self.emit(
-            "task_start", index=index, digest=digest, label=label, attempt=attempt
+            "task_start",
+            index=index,
+            digest=digest,
+            label=label,
+            attempt=attempt,
+            **extras,
         )
 
     def cache_hit(self, index: int, digest: str) -> None:
@@ -130,14 +166,22 @@ class RunLog:
         events_executed: Optional[int] = None,
         sim_wall_ratio: Optional[float] = None,
         peak_rss_kb: Optional[float] = None,
+        attempt: int = 0,
+        lane: str = "",
+        worker: Optional[int] = None,
     ) -> None:
         """Record one completed cell, with optional engine telemetry.
 
-        The extras (events executed, simulated-seconds per wall second,
-        peak RSS) come from the flight recorder's ``perf_*`` metrics;
-        None (or NaN) values are simply omitted from the record.
+        ``attempt`` is how many failed attempts preceded this success
+        and ``lane`` names the scheduling policy (``cost``/``fifo``)
+        that ordered the cell, so retries and makespan wins stay
+        auditable from the JSONL log.  The engine extras (events
+        executed, simulated-seconds per wall second, peak RSS) come from
+        the flight recorder's ``perf_*`` metrics; None (or NaN) values
+        are simply omitted from the record.
         """
         self.progress.completed += 1
+        self._busy += max(elapsed, 0.0)
         extras: Dict[str, Any] = {}
         if events_executed is not None:
             extras["events_executed"] = events_executed
@@ -145,7 +189,18 @@ class RunLog:
             extras["sim_wall_ratio"] = round(sim_wall_ratio, 3)
         if peak_rss_kb is not None and peak_rss_kb == peak_rss_kb:
             extras["peak_rss_kb"] = peak_rss_kb
-        self.emit("task_done", index=index, digest=digest, elapsed=elapsed, **extras)
+        if lane:
+            extras["lane"] = lane
+        if worker is not None:
+            extras["worker"] = worker
+        self.emit(
+            "task_done",
+            index=index,
+            digest=digest,
+            elapsed=elapsed,
+            attempt=attempt,
+            **extras,
+        )
 
     def task_retry(
         self, index: int, digest: str, attempt: int, error: str, delay: float
@@ -164,8 +219,37 @@ class RunLog:
         self.progress.failed += 1
         self.emit("task_failed", index=index, digest=digest, error=error)
 
+    def worker_spawn(self, worker: int) -> None:
+        self.emit("worker_spawn", worker=worker)
+
+    def worker_respawn(
+        self,
+        worker: int,
+        reason: str,
+        index: Optional[int] = None,
+        replaced: Optional[int] = None,
+    ) -> None:
+        """One stuck/dead worker was killed and replaced (pool mode)."""
+        self.progress.respawned += 1
+        self.emit(
+            "worker_respawn",
+            worker=worker,
+            reason=reason,
+            index=index,
+            replaced=replaced,
+        )
+
     def sweep_end(self) -> None:
         progress = self.progress
+        extras: Dict[str, Any] = {}
+        if self._sweep_t0 is not None:
+            makespan = time.monotonic() - self._sweep_t0
+            extras["makespan"] = round(makespan, 6)
+            extras["busy"] = round(self._busy, 6)
+            if makespan > 0 and self._workers > 0:
+                extras["utilization"] = round(
+                    self._busy / (makespan * self._workers), 4
+                )
         self.emit(
             "sweep_end",
             total=progress.total,
@@ -173,6 +257,8 @@ class RunLog:
             cached=progress.cached,
             failed=progress.failed,
             retried=progress.retried,
+            respawned=progress.respawned,
+            **extras,
         )
 
 
@@ -189,6 +275,161 @@ def read_runlog(path: str) -> List[Dict[str, Any]]:
             except ValueError:
                 continue  # a torn final line from a killed run
     return events
+
+
+def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold an event stream into a sweep execution summary.
+
+    Returns totals, makespan, worker utilization, the scheduling lane,
+    per-worker busy time / cell counts, respawns, and the slowest
+    cells — everything needed to audit a sweep's makespan from its
+    JSONL log alone (``repro-tcp sweeplog``).  A killed run (no
+    ``sweep_end``) still summarizes from the per-task events; makespan
+    then falls back to the span of observed timestamps.
+    """
+    summary: Dict[str, Any] = {
+        "sweeps": 0,
+        "total": 0,
+        "completed": 0,
+        "cached": 0,
+        "failed": 0,
+        "retried": 0,
+        "respawned": 0,
+        "workers": 0,
+        "pool": "",
+        "schedule": "",
+        "makespan": 0.0,
+        "busy": 0.0,
+        "utilization": float("nan"),
+        "per_worker": {},
+        "lanes": {},
+        "slowest": [],
+    }
+    per_worker: Dict[Any, Dict[str, float]] = {}
+    done_cells: List[Dict[str, Any]] = []
+    t_first: Optional[float] = None
+    t_last: Optional[float] = None
+    saw_end = False
+    for event in events:
+        kind = event.get("event")
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_first = t if t_first is None else min(t_first, t)
+            t_last = t if t_last is None else max(t_last, t)
+        if kind == "sweep_start":
+            summary["sweeps"] += 1
+            summary["total"] += int(event.get("total") or 0)
+            summary["workers"] = max(
+                summary["workers"], int(event.get("workers") or 0)
+            )
+            summary["pool"] = event.get("pool", summary["pool"]) or ""
+            summary["schedule"] = (
+                event.get("schedule", summary["schedule"]) or ""
+            )
+        elif kind == "task_done":
+            elapsed = float(event.get("elapsed") or 0.0)
+            summary["completed"] += 1
+            summary["busy"] += elapsed
+            lane = event.get("lane", "")
+            if lane:
+                summary["lanes"][lane] = summary["lanes"].get(lane, 0) + 1
+            worker = event.get("worker")
+            stats = per_worker.setdefault(
+                worker, {"cells": 0, "busy": 0.0}
+            )
+            stats["cells"] += 1
+            stats["busy"] += elapsed
+            done_cells.append(event)
+        elif kind == "cache_hit":
+            summary["cached"] += 1
+        elif kind == "task_failed":
+            summary["failed"] += 1
+        elif kind == "task_retry":
+            summary["retried"] += 1
+        elif kind == "worker_respawn":
+            summary["respawned"] += 1
+        elif kind == "sweep_end":
+            saw_end = True
+            summary["makespan"] += float(event.get("makespan") or 0.0)
+    if not saw_end and t_first is not None and t_last is not None:
+        summary["makespan"] = t_last - t_first
+    if summary["makespan"] > 0 and summary["workers"] > 0:
+        summary["utilization"] = summary["busy"] / (
+            summary["makespan"] * summary["workers"]
+        )
+    summary["per_worker"] = per_worker
+    summary["slowest"] = sorted(
+        done_cells, key=lambda e: float(e.get("elapsed") or 0.0), reverse=True
+    )[:5]
+    return summary
+
+
+def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
+    """A ``repro-tcp profile``-style text report of one run log."""
+    from repro.analysis.tables import format_table
+
+    summary = summarize_runlog(events)
+    lines: List[str] = []
+    pool = summary["pool"] or "?"
+    schedule = summary["schedule"] or "?"
+    lines.append(
+        f"Sweep execution: pool={pool} schedule={schedule} "
+        f"workers={summary['workers']} "
+        f"({summary['sweeps']} sweep(s), {summary['total']} cells)"
+    )
+    utilization = summary["utilization"]
+    utilization_text = (
+        f"{100.0 * utilization:.1f}%"
+        if utilization == utilization
+        else "n/a"
+    )
+    lines.append(
+        f"makespan {summary['makespan']:.3f}s, busy "
+        f"{summary['busy']:.3f} worker-seconds, utilization "
+        f"{utilization_text}"
+    )
+    lines.append(
+        f"completed={summary['completed']} cached={summary['cached']} "
+        f"failed={summary['failed']} retried={summary['retried']} "
+        f"respawned={summary['respawned']}"
+    )
+    if summary["per_worker"]:
+        rows = [
+            [
+                "-" if worker is None else worker,
+                int(stats["cells"]),
+                round(stats["busy"], 3),
+            ]
+            for worker, stats in sorted(
+                summary["per_worker"].items(),
+                key=lambda item: (item[0] is None, item[0]),
+            )
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["worker", "cells", "busy s"], rows, title="Per-worker load"
+            )
+        )
+    if summary["slowest"]:
+        rows = [
+            [
+                event.get("index", "-"),
+                str(event.get("digest", ""))[:12],
+                round(float(event.get("elapsed") or 0.0), 3),
+                event.get("attempt", 0),
+            ]
+            for event in summary["slowest"]
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["cell", "digest", "elapsed s", "attempt"],
+                rows,
+                title="Slowest cells",
+            )
+        )
+    return "\n".join(lines)
 
 
 def stderr_runlog(path: Optional[str] = None, progress: bool = False) -> RunLog:

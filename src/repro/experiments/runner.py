@@ -1,20 +1,33 @@
 """Fault-tolerant, resumable sweep execution.
 
 The paper's figures aggregate hundreds of seed-deterministic scenario
-runs — an embarrassingly parallel, perfectly cacheable workload.  The
-old executor was a bare ``Pool.map``: one crashed or hung worker killed
-the whole grid and every re-run recomputed everything.
-:class:`SweepRunner` replaces it with per-scenario submission:
+runs — an embarrassingly parallel, perfectly cacheable workload.  Two
+executors share one robustness contract (per-cell wall-clock deadline,
+capped-backoff retry, crash isolation via error-tagged
+:class:`ScenarioMetrics` placeholders, content-addressed resume):
 
-* each cell runs in its own worker process with a wall-clock deadline;
-* a worker that crashes or exceeds its deadline is retried with capped
-  exponential backoff, then recorded as an error-tagged
-  :class:`ScenarioMetrics` placeholder — the rest of the grid finishes;
-* results are stored in a content-addressed :class:`ResultCache`, so an
-  interrupted sweep re-run against the same cache directory resumes
-  with instant hits for every finished cell;
-* every lifecycle event streams to a JSONL :class:`RunLog` with live
-  completed/failed/cached counters.
+* ``pool="persistent"`` (default): a pool of long-lived workers that
+  import once, drain the task queue over a duplex pipe, and heartbeat
+  while running.  A worker that crashes or blows its deadline is killed
+  and respawned *individually* — the rest of the pool keeps draining.
+  Workers persist successful results into the :class:`ResultCache`
+  themselves (same atomic-rename, digest-keyed writes) and send only a
+  slim ack over the pipe, so result payloads never serialize through
+  the parent when a cache is configured.
+* ``pool="per-task"``: the PR-1 executor — one worker process per
+  attempt.  Maximum isolation, pays a fork/spawn per cell.
+
+Both executors reap events with :func:`multiprocessing.connection.wait`
+over the worker pipes (the wake-up is a pipe write, not a poll loop),
+with the wait timeout derived from the nearest deadline or retry
+backoff.
+
+Scheduling is ``schedule="cost"`` by default: longest-expected-first
+(LPT) order using a :class:`~repro.experiments.costmodel.CostModel`
+estimate per cell (``duration x n_clients``, refined online by observed
+wall times and seeded from the run log and cache), which minimizes
+makespan on heterogeneous grids.  ``schedule="fifo"`` keeps submission
+order.
 
 Worker processes use the ``fork`` start method where the platform
 offers it (cheap) and fall back to ``spawn`` elsewhere (macOS default,
@@ -23,24 +36,29 @@ Windows), so sweeps run on any CI runner.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
-from multiprocessing.connection import Connection
+from multiprocessing.connection import Connection, wait
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.costmodel import SCHEDULES, CostModel, make_cost_model
 from repro.experiments.results import ScenarioMetrics
-from repro.experiments.runlog import RunLog
+from repro.experiments.runlog import RunLog, read_runlog
 from repro.experiments.scenario import run_scenario
 
 #: Backoff before retry attempt k is ``backoff * 2**(k-1)``, capped.
 DEFAULT_BACKOFF = 0.25
 DEFAULT_MAX_BACKOFF = 5.0
-#: Scheduler poll period; latency floor for detecting finished workers.
-_POLL_INTERVAL = 0.02
+#: Liveness beat period of a busy pool worker.
+DEFAULT_HEARTBEAT = 0.5
+#: The executor flavours ``SweepRunner(pool=...)`` accepts.
+POOLS = ("persistent", "per-task")
 
 TaskFn = Callable[[ScenarioConfig], ScenarioMetrics]
 
@@ -63,8 +81,11 @@ def pick_start_method(preferred: Optional[str] = None) -> str:
     return "fork" if "fork" in available else "spawn"
 
 
+# ----------------------------------------------------------------------
+# Worker entry points (module level: picklable under spawn)
+# ----------------------------------------------------------------------
 def _worker_entry(task: TaskFn, config: ScenarioConfig, conn: Connection) -> None:
-    """Child-process entry: run the task, ship (status, payload) back."""
+    """Per-task child entry: run the task, ship (status, payload) back."""
     try:
         metrics = task(config)
         conn.send(("ok", metrics))
@@ -75,6 +96,88 @@ def _worker_entry(task: TaskFn, config: ScenarioConfig, conn: Connection) -> Non
             pass  # parent will see the exit as a crash
     finally:
         conn.close()
+
+
+def _pool_heartbeats(send, index: int, stop: threading.Event, interval: float) -> None:
+    """Beat until ``stop`` is set (runs on a daemon thread in the worker)."""
+    while not stop.wait(interval):
+        send(("hb", index))
+
+
+def _pool_worker_main(
+    worker_id: int,
+    task: TaskFn,
+    cache_dir: Optional[str],
+    conn: Connection,
+    heartbeat: float,
+) -> None:
+    """Persistent-pool child entry: import once, drain tasks until told
+    to stop.
+
+    Protocol (worker -> parent): ``("ready", id)`` once after startup,
+    ``("start", index)`` when a task begins, ``("hb", index)`` every
+    ``heartbeat`` seconds while running, and ``("done", index, status,
+    payload, elapsed)`` per task.  On success with a configured cache
+    the worker persists the metrics itself (atomic rename under the
+    config digest) and sends ``payload=None`` — the slim ack — so the
+    record never pickles through the pipe; without a cache (or if the
+    write fails) the metrics travel in the payload.
+    """
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        with send_lock:  # the heartbeat thread shares this pipe
+            try:
+                conn.send(message)
+            except (OSError, ValueError):
+                pass  # parent went away; the next recv will end the loop
+
+    send(("ready", worker_id))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message[0] != "task":  # ("stop",) or anything unexpected
+            break
+        _, index, _attempt, config = message
+        send(("start", index))
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=_pool_heartbeats,
+            args=(send, index, stop, heartbeat),
+            daemon=True,
+        )
+        beater.start()
+        started = time.monotonic()
+        metrics: Optional[ScenarioMetrics] = None
+        error: Optional[str] = None
+        try:
+            metrics = task(config)
+        except KeyboardInterrupt:
+            stop.set()
+            break
+        except BaseException as exc:  # noqa: BLE001 - isolate the cell
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.monotonic() - started
+        stop.set()
+        beater.join(timeout=4.0 * heartbeat)
+        if error is not None:
+            send(("done", index, "error", error, elapsed))
+            continue
+        payload: Optional[ScenarioMetrics] = metrics
+        if cache is not None and metrics is not None and not metrics.failed:
+            try:
+                cache.put(config, metrics)
+                payload = None  # slim ack: the parent reads the cache entry
+            except Exception:
+                payload = metrics  # disk trouble: fall back to the pipe
+        send(("done", index, "ok", payload, elapsed))
+    try:
+        conn.close()
+    except OSError:
+        pass
 
 
 @dataclass
@@ -90,11 +193,28 @@ class _Task:
 
 @dataclass
 class _Running:
+    """A per-task worker process and the cell it is attempting."""
+
     task: _Task
     process: multiprocessing.process.BaseProcess
     conn: Connection
     started: float
     deadline: Optional[float] = field(default=None)
+
+
+@dataclass
+class _PoolWorker:
+    """A persistent worker and its parent-side bookkeeping."""
+
+    id: int
+    process: multiprocessing.process.BaseProcess
+    conn: Connection
+    current: Optional[_Task] = None
+    started: float = 0.0
+    deadline: Optional[float] = None
+    last_beat: float = 0.0
+    tasks_done: int = 0
+    busy_time: float = 0.0
 
 
 class SweepRunner:
@@ -103,10 +223,11 @@ class SweepRunner:
     Args:
         processes: worker processes; None picks ``min(cpu, grid size)``.
             Values <= 1 run cells in-process (easiest debugging) unless a
-            ``timeout`` is set, which forces one worker subprocess so
+            ``timeout`` is set, which forces one killable worker so
             hangs can be killed.
         timeout: per-scenario wall-clock limit in seconds (None = no
-            limit).  Enforced by terminating the worker process.
+            limit).  Enforced by terminating the worker process (and,
+            under the persistent pool, respawning only that worker).
         retries: extra attempts per cell after the first failure.
         backoff / max_backoff: capped exponential delay between attempts.
         cache: a :class:`ResultCache`, a cache directory path, or None.
@@ -115,6 +236,11 @@ class SweepRunner:
             picklable under the chosen start method.
         start_method: multiprocessing start method override (None = fork
             where available, else spawn).
+        pool: ``"persistent"`` (long-lived workers draining a queue;
+            default) or ``"per-task"`` (one process per attempt).
+        schedule: ``"cost"`` (longest-expected-first via the cost
+            model; default) or ``"fifo"`` (submission order).
+        heartbeat: liveness beat period of busy pool workers, seconds.
     """
 
     def __init__(
@@ -128,11 +254,22 @@ class SweepRunner:
         run_log: Optional[RunLog] = None,
         task: TaskFn = run_one,
         start_method: Optional[str] = None,
+        pool: str = "persistent",
+        schedule: str = "cost",
+        heartbeat: float = DEFAULT_HEARTBEAT,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
+        if pool not in POOLS:
+            raise ValueError(f"unknown pool {pool!r}; choose from {POOLS}")
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
+            )
+        if heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
         self.processes = processes
         self.timeout = timeout
         self.retries = retries
@@ -142,6 +279,10 @@ class SweepRunner:
         self.log = run_log if run_log is not None else RunLog()
         self.task = task
         self.start_method = start_method
+        self.pool = pool
+        self.schedule = schedule
+        self.heartbeat = heartbeat
+        self._worker_seq = itertools.count()
 
     # ------------------------------------------------------------------
     def run(self, configs: Sequence[ScenarioConfig]) -> List[ScenarioMetrics]:
@@ -165,7 +306,10 @@ class SweepRunner:
             timeout=self.timeout,
             retries=self.retries,
             cache_dir=self.cache.directory if self.cache else None,
+            pool=self.pool,
+            schedule=self.schedule,
         )
+        cost = self._make_cost_model(configs)
         pending: List[_Task] = []
         for index, config in enumerate(configs):
             digest = config.config_digest()
@@ -173,26 +317,53 @@ class SweepRunner:
             if cached is not None:
                 results[index] = cached
                 self.log.cache_hit(index, digest)
+                if cost is not None:
+                    cost.observe_metrics(config, cached)
             else:
                 pending.append(_Task(index, config, digest))
 
         if pending:
             if workers <= 1 and self.timeout is None:
-                self._run_in_process(pending, results)
+                self._run_in_process(pending, results, cost)
+            elif self.pool == "persistent":
+                self._run_pool(pending, results, max(workers, 1), cost)
             else:
-                self._run_subprocess(pending, results, max(workers, 1))
+                self._run_subprocess(pending, results, max(workers, 1), cost)
         self.log.sweep_end()
         assert all(m is not None for m in results)
         return results  # type: ignore[return-value]
 
+    def _make_cost_model(
+        self, configs: Sequence[ScenarioConfig]
+    ) -> Optional[CostModel]:
+        """The LPT cost model (None under fifo), seeded from any prior
+        events already in this run log's JSONL file."""
+        events: Sequence = ()
+        if (
+            self.schedule == "cost"
+            and self.log.path is not None
+            and os.path.exists(self.log.path)
+        ):
+            try:
+                events = read_runlog(self.log.path)
+            except OSError:
+                events = ()
+        return make_cost_model(self.schedule, configs, events)
+
     # ------------------------------------------------------------------
-    # Outcome bookkeeping shared by both execution modes
+    # Outcome bookkeeping shared by all execution modes
     # ------------------------------------------------------------------
     def _record_success(
-        self, task: _Task, metrics: ScenarioMetrics, results: List, elapsed: float
+        self,
+        task: _Task,
+        metrics: ScenarioMetrics,
+        results: List,
+        elapsed: float,
+        worker: Optional[int] = None,
+        already_cached: bool = False,
     ) -> None:
         results[task.index] = metrics
-        if self.cache is not None and not metrics.failed:
+        if self.cache is not None and not already_cached and not metrics.failed:
             self.cache.put(task.config, metrics)
         self.log.task_done(
             task.index,
@@ -201,6 +372,9 @@ class SweepRunner:
             events_executed=metrics.perf_events_executed,
             sim_wall_ratio=metrics.perf_sim_wall_ratio,
             peak_rss_kb=metrics.perf_peak_rss_kb,
+            attempt=task.attempt,
+            lane=self.schedule,
+            worker=worker,
         )
 
     def _retry_delay(self, attempt: int) -> float:
@@ -222,10 +396,42 @@ class SweepRunner:
         self.log.task_failed(task.index, task.digest, error=error)
         return None
 
+    def _requeue(self, task: _Task, delay: float, pending: List[_Task]) -> None:
+        task.ready_at = time.monotonic() + delay
+        pending.append(task)
+
+    def _pick_next(
+        self, pending: List[_Task], cost: Optional[CostModel], now: float
+    ) -> Optional[_Task]:
+        """Pop the next launchable task: the longest-expected one under
+        the cost model, the first submitted under fifo; None if every
+        pending task is still backing off."""
+        best_index = -1
+        best_estimate = float("-inf")
+        for i, task in enumerate(pending):
+            if task.ready_at > now:
+                continue
+            if cost is None:
+                return pending.pop(i)
+            estimate = cost.estimate(task.config)
+            if estimate > best_estimate:
+                best_estimate = estimate
+                best_index = i
+        if best_index >= 0:
+            return pending.pop(best_index)
+        return None
+
     # ------------------------------------------------------------------
     # In-process execution (no timeout enforcement, no crash isolation)
     # ------------------------------------------------------------------
-    def _run_in_process(self, tasks: List[_Task], results: List) -> None:
+    def _run_in_process(
+        self, tasks: List[_Task], results: List, cost: Optional[CostModel]
+    ) -> None:
+        if cost is not None:  # sequential makespan is order-free; keep
+            # the LPT order anyway so logs read identically across modes
+            tasks = sorted(
+                tasks, key=lambda task: cost.estimate(task.config), reverse=True
+            )
         for task in tasks:
             # Re-check the cache per cell so duplicate grid entries (and
             # concurrent sweeps sharing the directory) coalesce.
@@ -251,13 +457,14 @@ class SweepRunner:
                         break
                     time.sleep(delay)
                 else:
-                    self._record_success(
-                        task, metrics, results, time.monotonic() - started
-                    )
+                    elapsed = time.monotonic() - started
+                    if cost is not None:
+                        cost.observe(task.config, elapsed)
+                    self._record_success(task, metrics, results, elapsed)
                     break
 
     # ------------------------------------------------------------------
-    # Subprocess execution: one worker process per attempt
+    # Per-task execution: one worker process per attempt
     # ------------------------------------------------------------------
     def _launch(self, context, task: _Task) -> _Running:
         recv_conn, send_conn = context.Pipe(duplex=False)
@@ -312,7 +519,11 @@ class SweepRunner:
             process.join(timeout=2.0)
 
     def _run_subprocess(
-        self, tasks: List[_Task], results: List, workers: int
+        self,
+        tasks: List[_Task],
+        results: List,
+        workers: int,
+        cost: Optional[CostModel],
     ) -> None:
         context = multiprocessing.get_context(pick_start_method(self.start_method))
         pending: List[_Task] = list(tasks)
@@ -323,28 +534,31 @@ class SweepRunner:
                 # Launch every ready task for which a worker slot exists;
                 # re-check the cache at launch so duplicate cells and
                 # concurrent sweeps sharing a directory coalesce.
-                launched_any = True
-                while launched_any and len(running) < workers:
-                    launched_any = False
-                    for i, task in enumerate(pending):
-                        if task.ready_at <= now:
-                            pending.pop(i)
-                            cached = (
-                                self.cache.get(task.config) if self.cache else None
-                            )
-                            if cached is not None:
-                                results[task.index] = cached
-                                self.log.cache_hit(task.index, task.digest)
-                            else:
-                                running.append(self._launch(context, task))
-                            launched_any = True
-                            break
+                while len(running) < workers:
+                    task = self._pick_next(pending, cost, now)
+                    if task is None:
+                        break
+                    cached = self.cache.get(task.config) if self.cache else None
+                    if cached is not None:
+                        results[task.index] = cached
+                        self.log.cache_hit(task.index, task.digest)
+                        if cost is not None:
+                            cost.observe_metrics(task.config, cached)
+                    else:
+                        running.append(self._launch(context, task))
                 if not running:
                     if pending:  # everything is backing off; sleep to the first
                         wake = min(task.ready_at for task in pending)
                         time.sleep(max(wake - time.monotonic(), 0.0) + 1e-4)
                     continue
-                time.sleep(_POLL_INTERVAL)
+                # Event-driven reap: block on the worker pipes until one
+                # reports (or dies — EOF is readable too), waking early
+                # only for the nearest deadline or retry backoff.
+                timeout = self._wait_timeout(
+                    (w.deadline for w in running),
+                    pending if len(running) < workers else (),
+                )
+                wait([w.conn for w in running], timeout=timeout)
                 still_running: List[_Running] = []
                 for worker in running:
                     outcome = self._reap(worker)
@@ -354,23 +568,272 @@ class SweepRunner:
                     worker.conn.close()
                     status, payload = outcome
                     if status == "ok":
+                        elapsed = time.monotonic() - worker.started
+                        if cost is not None:
+                            cost.observe(worker.task.config, elapsed)
                         self._record_success(
-                            worker.task,
-                            payload,
-                            results,
-                            time.monotonic() - worker.started,
+                            worker.task, payload, results, elapsed
                         )
                     else:
                         error = payload if isinstance(payload, str) else str(payload)
                         delay = self._record_failure(worker.task, error, results)
                         if delay is not None:
-                            worker.task.ready_at = time.monotonic() + delay
-                            pending.append(worker.task)
+                            self._requeue(worker.task, delay, pending)
                 running = still_running
         finally:
             for worker in running:  # interrupted: leave no orphans behind
                 self._terminate(worker.process)
                 worker.conn.close()
+
+    @staticmethod
+    def _wait_timeout(deadlines, pending) -> Optional[float]:
+        """Seconds until the nearest deadline or backoff wake-up; None
+        when there is nothing scheduled to happen (pure event wait)."""
+        candidates = [d for d in deadlines if d is not None]
+        if pending:
+            candidates.append(min(task.ready_at for task in pending))
+        if not candidates:
+            return None
+        return max(min(candidates) - time.monotonic(), 0.0)
+
+    # ------------------------------------------------------------------
+    # Persistent-pool execution: long-lived workers drain the queue
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, context, cache_dir: Optional[str]) -> _PoolWorker:
+        worker_id = next(self._worker_seq)
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_pool_worker_main,
+            args=(worker_id, self.task, cache_dir, child_conn, self.heartbeat),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # keep only the child's copy
+        self.log.worker_spawn(worker_id)
+        return _PoolWorker(
+            id=worker_id,
+            process=process,
+            conn=parent_conn,
+            last_beat=time.monotonic(),
+        )
+
+    def _dispatch(self, worker: _PoolWorker, task: _Task) -> None:
+        self.log.task_start(
+            task.index, task.digest, task.config.label, task.attempt,
+            worker=worker.id,
+        )
+        worker.current = task
+        worker.started = time.monotonic()
+        worker.deadline = (
+            worker.started + self.timeout if self.timeout is not None else None
+        )
+        try:
+            worker.conn.send(("task", task.index, task.attempt, task.config))
+        except (OSError, ValueError):
+            pass  # worker already died; the wait loop reaps the EOF
+
+    def _run_pool(
+        self,
+        tasks: List[_Task],
+        results: List,
+        workers_wanted: int,
+        cost: Optional[CostModel],
+    ) -> None:
+        context = multiprocessing.get_context(pick_start_method(self.start_method))
+        cache_dir = self.cache.directory if self.cache is not None else None
+        pending: List[_Task] = list(tasks)
+        workers: List[_PoolWorker] = [
+            self._spawn_worker(context, cache_dir)
+            for _ in range(max(1, min(workers_wanted, len(pending))))
+        ]
+        try:
+            while pending or any(w.current is not None for w in workers):
+                now = time.monotonic()
+                for worker in workers:
+                    while worker.current is None and pending:
+                        task = self._pick_next(pending, cost, now)
+                        if task is None:
+                            break
+                        cached = (
+                            self.cache.get(task.config) if self.cache else None
+                        )
+                        if cached is not None:
+                            results[task.index] = cached
+                            self.log.cache_hit(task.index, task.digest)
+                            if cost is not None:
+                                cost.observe_metrics(task.config, cached)
+                            continue  # slot still free; pick again
+                        self._dispatch(worker, task)
+                if not any(w.current is not None for w in workers):
+                    if pending:  # everything is backing off
+                        wake = min(task.ready_at for task in pending)
+                        time.sleep(max(wake - time.monotonic(), 0.0) + 1e-4)
+                    continue
+                timeout = self._wait_timeout(
+                    (w.deadline for w in workers if w.current is not None),
+                    pending
+                    if any(w.current is None for w in workers)
+                    else (),
+                )
+                ready = wait([w.conn for w in workers], timeout=timeout)
+                for conn in ready:
+                    worker = next(
+                        (w for w in workers if w.conn is conn), None
+                    )
+                    if worker is not None:
+                        self._drain_worker(
+                            worker, workers, pending, results, cost,
+                            context, cache_dir,
+                        )
+                now = time.monotonic()
+                for worker in list(workers):
+                    if (
+                        worker.current is not None
+                        and worker.deadline is not None
+                        and now > worker.deadline
+                    ):
+                        self._retire_worker(
+                            worker, workers, pending, results,
+                            error=f"timeout after {self.timeout:g}s",
+                            reason="timeout",
+                            context=context, cache_dir=cache_dir,
+                        )
+        finally:
+            self._shutdown_pool(workers)
+
+    def _drain_worker(
+        self,
+        worker: _PoolWorker,
+        workers: List[_PoolWorker],
+        pending: List[_Task],
+        results: List,
+        cost: Optional[CostModel],
+        context,
+        cache_dir: Optional[str],
+    ) -> None:
+        """Consume every queued message from one worker's pipe."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                # The pipe closed: the worker died (hard crash, os._exit,
+                # OOM kill) — possibly mid-cell.
+                worker.process.join(timeout=5.0)
+                code = worker.process.exitcode
+                self._retire_worker(
+                    worker, workers, pending, results,
+                    error=f"worker crashed (exit code {code})",
+                    reason="crash",
+                    context=context, cache_dir=cache_dir,
+                )
+                return
+            kind = message[0]
+            if kind in ("ready", "hb", "start"):
+                worker.last_beat = time.monotonic()
+                if kind == "start" and self.timeout is not None:
+                    # Start the deadline clock when the task actually
+                    # begins, not at dispatch: under spawn the first
+                    # dispatch races worker startup (module imports).
+                    worker.deadline = worker.last_beat + self.timeout
+                continue
+            if kind != "done":  # unknown message; ignore
+                continue
+            _, index, status, payload, elapsed = message
+            task = worker.current
+            worker.current = None
+            worker.deadline = None
+            if task is None or task.index != index:
+                continue  # stale report from a task already written off
+            worker.tasks_done += 1
+            worker.busy_time += elapsed
+            if status == "ok":
+                already_cached = payload is None
+                metrics = payload
+                if metrics is None and self.cache is not None:
+                    metrics = self.cache.get(task.config)
+                if metrics is None:
+                    # The slim ack promised a cache entry we cannot read
+                    # back (deleted or corrupt): treat as a failure so
+                    # the retry path re-runs the cell.
+                    delay = self._record_failure(
+                        task, "worker-side cache entry unreadable", results
+                    )
+                    if delay is not None:
+                        self._requeue(task, delay, pending)
+                else:
+                    if cost is not None:
+                        cost.observe(task.config, elapsed)
+                    self._record_success(
+                        task, metrics, results, elapsed,
+                        worker=worker.id, already_cached=already_cached,
+                    )
+            else:
+                delay = self._record_failure(task, str(payload), results)
+                if delay is not None:
+                    self._requeue(task, delay, pending)
+
+    def _retire_worker(
+        self,
+        worker: _PoolWorker,
+        workers: List[_PoolWorker],
+        pending: List[_Task],
+        results: List,
+        error: str,
+        reason: str,
+        context,
+        cache_dir: Optional[str],
+    ) -> None:
+        """Kill-and-respawn of one stuck or dead worker.
+
+        Only this worker is replaced; the rest of the pool never stops
+        draining.  Its in-flight task (if any) goes through the normal
+        retry/placeholder bookkeeping.
+        """
+        task = worker.current
+        worker.current = None
+        worker.deadline = None
+        self._terminate(worker.process)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if task is not None:
+            delay = self._record_failure(task, error, results)
+            if delay is not None:
+                self._requeue(task, delay, pending)
+        slot = workers.index(worker)
+        if pending:
+            replacement = self._spawn_worker(context, cache_dir)
+            workers[slot] = replacement
+            self.log.worker_respawn(
+                replacement.id,
+                reason=reason,
+                index=task.index if task is not None else None,
+                replaced=worker.id,
+            )
+        else:
+            workers.pop(slot)
+
+    def _shutdown_pool(self, workers: List[_PoolWorker]) -> None:
+        """Stop every worker: graceful stop message, then terminate."""
+        for worker in workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        grace = time.monotonic() + 2.0
+        for worker in workers:
+            worker.process.join(
+                timeout=max(grace - time.monotonic(), 0.1)
+            )
+            if worker.process.is_alive():
+                self._terminate(worker.process)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
 
 
 def run_sweep(
@@ -382,7 +845,11 @@ def run_sweep(
     run_log: Optional[RunLog] = None,
     **kwargs,
 ) -> List[ScenarioMetrics]:
-    """One-call convenience wrapper around :class:`SweepRunner`."""
+    """One-call convenience wrapper around :class:`SweepRunner`.
+
+    Extra keyword arguments (``pool``, ``schedule``, ``start_method``,
+    ``backoff``, ...) pass through to the runner.
+    """
     runner = SweepRunner(
         processes=processes,
         timeout=timeout,

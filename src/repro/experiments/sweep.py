@@ -31,6 +31,8 @@ def run_many(
     cache: Union[ResultCache, str, None] = None,
     run_log: Optional[RunLog] = None,
     start_method: Optional[str] = None,
+    pool: str = "persistent",
+    schedule: str = "cost",
 ) -> List[ScenarioMetrics]:
     """Run every configuration, preserving input order.
 
@@ -47,6 +49,12 @@ def run_many(
         run_log: optional :class:`RunLog` for JSONL progress telemetry.
         start_method: multiprocessing start method (None = ``fork``
             where available, ``spawn`` elsewhere, e.g. macOS/Windows).
+        pool: ``"persistent"`` (long-lived workers that import once and
+            drain the grid; default) or ``"per-task"`` (one process per
+            attempt).
+        schedule: ``"cost"`` (longest-expected-first, minimizing
+            makespan on heterogeneous grids; default) or ``"fifo"``
+            (submission order).
 
     A cell that keeps failing is returned as an error-tagged
     :class:`ScenarioMetrics` placeholder (``metrics.failed`` is True)
@@ -59,6 +67,8 @@ def run_many(
         cache=cache,
         run_log=run_log,
         start_method=start_method,
+        pool=pool,
+        schedule=schedule,
     )
     return runner.run(configs)
 

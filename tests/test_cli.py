@@ -339,3 +339,85 @@ class TestObservabilityFlags:
         payload = json.loads(json_path.read_text())
         assert payload["events_executed"] > 0
         assert payload["sim_time"] == 3.0
+
+
+class TestExecutorFlags:
+    """The sweep-executor CLI surface: --jobs, --pool, --schedule."""
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig2", "--jobs", "4", "--pool", "per-task", "--schedule", "fifo"]
+        )
+        assert args.processes == 4
+        assert args.pool == "per-task"
+        assert args.schedule == "fifo"
+
+    def test_jobs_short_flag_aliases_processes(self):
+        args = build_parser().parse_args(["fig2", "-j", "2"])
+        assert args.processes == 2
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.pool == "persistent"
+        assert args.schedule == "cost"
+
+    def test_unknown_pool_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--pool", "threads"])
+
+    def test_runner_kwargs_carry_executor_knobs(self):
+        from repro.experiments.cli import _runner_kwargs
+
+        args = build_parser().parse_args(
+            ["fig2", "--pool", "per-task", "--schedule", "fifo"]
+        )
+        kwargs = _runner_kwargs(args)
+        assert kwargs["pool"] == "per-task"
+        assert kwargs["schedule"] == "fifo"
+
+
+class TestSweeplog:
+    def test_sweeplog_summarizes_run(self, capsys, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "fig2",
+                "--clients", "2",
+                "--duration", "3",
+                "--jobs", "2",
+                "--timeout", "60",
+                "--run-log", str(log_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["sweeplog", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "utilization" in out
+        assert "Per-worker load" in out
+        assert "Slowest cells" in out
+
+    def test_sweeplog_json_export(self, capsys, tmp_path):
+        import json
+
+        log_path = tmp_path / "run.jsonl"
+        json_path = tmp_path / "summary.json"
+        assert main(
+            [
+                "fig2",
+                "--clients", "2",
+                "--duration", "3",
+                "--run-log", str(log_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(["sweeplog", str(log_path), "--json", str(json_path)])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["completed"] >= 1
+        assert "makespan" in payload
+
+    def test_sweeplog_empty_log_fails(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["sweeplog", str(empty)]) == 1

@@ -1,0 +1,387 @@
+"""The persistent worker pool's failure matrix and differential tests.
+
+Every behaviour of the robustness contract — crash isolation, deadline
+kill-and-respawn of only the stuck worker, retry-then-placeholder,
+KeyboardInterrupt draining, cache-hit resume — is asserted for
+``pool="persistent"`` and (where the scenario applies) shown identical
+to ``pool="per-task"``.  The differential matrix proves both executors
+and both schedules produce byte-identical :class:`ScenarioMetrics`
+(same config digests, same metric values, stable after a
+``from_dict`` round-trip).
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import paper_config
+from repro.experiments.costmodel import CostModel, cell_units, make_cost_model
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.runlog import RunLog, read_runlog, summarize_runlog
+from repro.experiments.runner import POOLS, SweepRunner, run_one
+from repro.experiments.sweep import run_many
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32",
+    reason="the misbehaving task stubs rely on POSIX process semantics",
+)
+
+BOTH_POOLS = pytest.mark.parametrize("pool", list(POOLS))
+
+
+def tiny(**overrides):
+    defaults = dict(n_clients=2, duration=3.0, seed=1)
+    defaults.update(overrides)
+    return paper_config(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Deliberately misbehaving task stubs (module level: picklable by fork)
+# ----------------------------------------------------------------------
+def _crash_on_seed_2(config):
+    if config.seed == 2:
+        os._exit(17)
+    return run_one(config)
+
+
+def _hang_on_seed_99(config):
+    if config.seed == 99:
+        time.sleep(300)
+    return run_one(config)
+
+
+def _raise_always(config):
+    raise RuntimeError("scripted failure")
+
+
+def _flaky_once(config):
+    """Fails the first time it is ever called, then behaves."""
+    sentinel = os.environ["REPRO_TEST_POOL_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return run_one(config)
+
+
+class TestFailureMatrix:
+    @BOTH_POOLS
+    def test_worker_crash_mid_cell(self, pool):
+        """A hard crash yields a placeholder; the rest of the grid and
+        (persistent pool) the surviving worker finish normally."""
+        configs = [tiny(seed=s) for s in (1, 2, 3, 4)]
+        log = RunLog()
+        runner = SweepRunner(
+            processes=2, timeout=60, retries=0, task=_crash_on_seed_2,
+            pool=pool, run_log=log,
+        )
+        results = runner.run(configs)
+        assert [m.seed for m in results] == [1, 2, 3, 4]
+        assert results[1].failed
+        assert "exit code 17" in results[1].error
+        assert [m.failed for m in results] == [False, True, False, False]
+        assert log.progress.completed == 3
+        assert log.progress.failed == 1
+
+    @BOTH_POOLS
+    def test_deadline_kills_only_the_stuck_worker(self, pool, tmp_path):
+        """One hanging cell is killed at its deadline while the other
+        worker keeps draining; under the pool, exactly one respawn."""
+        hang = tiny(seed=99, n_clients=2, duration=500.0)  # biggest estimate
+        normal = [tiny(seed=s, n_clients=20, duration=10.0) for s in range(1, 13)]
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path) as log:
+            runner = SweepRunner(
+                processes=2, timeout=1.0, retries=0, task=_hang_on_seed_99,
+                pool=pool, run_log=log, heartbeat=0.1,
+            )
+            results = runner.run([hang] + normal)
+        assert results[0].failed
+        assert "timeout after 1" in results[0].error
+        assert all(not m.failed for m in results[1:])
+        events = read_runlog(path)
+        if pool == "persistent":
+            respawns = [e for e in events if e["event"] == "worker_respawn"]
+            assert len(respawns) == 1
+            assert respawns[0]["reason"] == "timeout"
+            assert respawns[0]["index"] == 0
+            # The other worker was never replaced: every cell completed
+            # on a worker that is not the replaced one.
+            replaced = respawns[0]["replaced"]
+            done_workers = {
+                e["worker"] for e in events if e["event"] == "task_done"
+            }
+            assert replaced not in done_workers
+
+    @BOTH_POOLS
+    def test_retry_then_placeholder(self, pool):
+        """retries=2 means three attempts, then an error placeholder."""
+        log = RunLog()
+        runner = SweepRunner(
+            processes=1, timeout=60, retries=2, backoff=0.02,
+            task=_raise_always, pool=pool, run_log=log,
+        )
+        results = runner.run([tiny()])
+        assert results[0].failed
+        assert "scripted failure" in results[0].error
+        assert log.progress.retried == 2
+        assert log.progress.failed == 1
+        # An in-worker exception is not a worker death: no respawns.
+        assert log.progress.respawned == 0
+
+    @BOTH_POOLS
+    def test_retry_attempt_recorded_in_task_done(self, pool, tmp_path, monkeypatch):
+        """The attempt count of the eventual success is auditable."""
+        monkeypatch.setenv(
+            "REPRO_TEST_POOL_SENTINEL", str(tmp_path / "sentinel")
+        )
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path) as log:
+            runner = SweepRunner(
+                processes=1, timeout=60, retries=2, backoff=0.02,
+                task=_flaky_once, pool=pool, run_log=log,
+            )
+            results = runner.run([tiny()])
+        assert not results[0].failed
+        done = [e for e in read_runlog(path) if e["event"] == "task_done"]
+        assert len(done) == 1
+        assert done[0]["attempt"] == 1  # one failed attempt preceded it
+        assert done[0]["lane"] == "cost"
+
+    @BOTH_POOLS
+    def test_keyboard_interrupt_drains_workers(self, pool, tmp_path):
+        """SIGINT mid-sweep propagates KeyboardInterrupt and leaves no
+        orphan worker processes behind."""
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import multiprocessing, os, signal, sys, time\n"
+            "from repro.experiments.config import paper_config\n"
+            "from repro.experiments.runner import SweepRunner, run_one\n"
+            "\n"
+            "def interrupt_parent(config):\n"
+            "    if config.seed == 2:\n"
+            "        os.kill(os.getppid(), signal.SIGINT)\n"
+            "        time.sleep(30)\n"
+            "    return run_one(config)\n"
+            "\n"
+            "configs = [paper_config(n_clients=2, duration=3.0, seed=s)\n"
+            "           for s in (1, 2, 3, 4)]\n"
+            "runner = SweepRunner(processes=2, timeout=60,\n"
+            "                     pool=sys.argv[1], task=interrupt_parent)\n"
+            "try:\n"
+            "    runner.run(configs)\n"
+            "except KeyboardInterrupt:\n"
+            "    deadline = time.time() + 10\n"
+            "    while multiprocessing.active_children() and time.time() < deadline:\n"
+            "        time.sleep(0.05)\n"
+            "    sys.exit(0 if not multiprocessing.active_children() else 3)\n"
+            "sys.exit(4)  # the interrupt never arrived\n"
+        )
+        env = dict(os.environ)
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, str(driver), pool],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, (proc.returncode, proc.stderr)
+
+    @BOTH_POOLS
+    def test_cache_hit_resume_after_failures(self, pool, tmp_path):
+        """Completed cells resume from the cache; failed cells (never
+        cached) are re-attempted on the next run."""
+        cache = ResultCache(str(tmp_path / "cache"))
+        configs = [tiny(seed=s) for s in (1, 2, 3, 4)]
+        first_log = RunLog()
+        first = SweepRunner(
+            processes=2, timeout=60, retries=0, task=_crash_on_seed_2,
+            pool=pool, cache=cache, run_log=first_log,
+        ).run(configs)
+        assert first[1].failed
+        assert len(cache) == 3  # the crash cell was not cached
+        second_log = RunLog()
+        second = SweepRunner(
+            processes=2, timeout=60, retries=0, task=run_one,
+            pool=pool, cache=cache, run_log=second_log,
+        ).run(configs)
+        assert all(not m.failed for m in second)
+        assert second_log.progress.cached == 3
+        assert second_log.progress.completed == 1
+        assert [m.seed for m in second] == [1, 2, 3, 4]
+
+
+class TestWorkerSideCaching:
+    def test_parent_never_writes_the_cache(self, tmp_path):
+        """Under the pool with a cache, workers persist results
+        themselves and the parent only reads the entries back."""
+        cache = ResultCache(str(tmp_path))
+        runner = SweepRunner(processes=2, timeout=60, pool="persistent", cache=cache)
+
+        def forbidden_put(config, metrics):
+            raise AssertionError("parent serialized a result into the cache")
+
+        runner.cache.put = forbidden_put
+        configs = [tiny(seed=s) for s in (1, 2, 3)]
+        results = runner.run(configs)
+        assert all(not m.failed for m in results)
+        assert len(cache) == 3  # written by the workers
+
+    def test_cached_and_piped_results_are_identical(self, tmp_path):
+        """A result recovered from a worker-side cache write equals the
+        same cell shipped over the pipe (no cache)."""
+        configs = [tiny(seed=s) for s in (1, 2)]
+        piped = run_many(configs, processes=2, timeout=60, pool="persistent")
+        cached = run_many(
+            configs, processes=2, timeout=60, pool="persistent",
+            cache=str(tmp_path),
+        )
+        assert piped == cached
+
+
+class TestDifferentialMatrix:
+    def grid(self):
+        return [
+            tiny(protocol=protocol, seed=seed, n_clients=n)
+            for protocol in ("udp", "reno")
+            for seed, n in ((1, 2), (2, 3))
+        ]
+
+    def test_executors_and_schedules_agree(self):
+        """in-process, per-task, and persistent pool — under both
+        schedules — produce byte-identical metrics per cell."""
+        configs = self.grid()
+        reference = run_many(configs, processes=1)
+        variants = {
+            "per-task/cost": run_many(
+                configs, processes=2, timeout=120, pool="per-task"
+            ),
+            "per-task/fifo": run_many(
+                configs, processes=2, timeout=120, pool="per-task",
+                schedule="fifo",
+            ),
+            "persistent/cost": run_many(
+                configs, processes=2, timeout=120, pool="persistent"
+            ),
+            "persistent/fifo": run_many(
+                configs, processes=2, timeout=120, pool="persistent",
+                schedule="fifo",
+            ),
+        }
+        for name, metrics in variants.items():
+            assert metrics == reference, f"{name} diverged from in-process"
+
+    def test_round_trip_and_digests(self):
+        """Results survive a from_dict round-trip byte-equal, and both
+        executors agree on every cell's config digest."""
+        configs = self.grid()
+        results = run_many(configs, processes=2, timeout=120, pool="persistent")
+        for config, metrics in zip(configs, results):
+            rebuilt = ScenarioMetrics.from_dict(metrics.as_dict())
+            assert rebuilt == metrics
+            assert config.config_digest()  # digest is stable and present
+        digests = [c.config_digest() for c in configs]
+        assert digests == [c.config_digest() for c in self.grid()]
+
+
+class TestCostModel:
+    def test_default_ordering_is_by_size(self):
+        model = CostModel()
+        small = tiny(n_clients=2, duration=1.0)
+        big = tiny(n_clients=40, duration=10.0)
+        assert model.estimate(big) > model.estimate(small)
+        assert cell_units(big) == 400.0
+
+    def test_lane_refinement(self):
+        """An observed lane predicts from its own wall times; an
+        unobserved lane falls back to the global rate."""
+        model = CostModel()
+        udp = tiny(protocol="udp")
+        reno = tiny(protocol="reno")
+        model.observe(udp, 0.6)  # 6 units -> alpha 0.1
+        assert model.estimate(udp) == pytest.approx(0.6)
+        # reno has no lane data: global alpha (0.1) applies.
+        assert model.estimate(reno) == pytest.approx(0.6)
+        model.observe(reno, 6.0)  # reno is 10x slower per unit
+        assert model.estimate(reno) == pytest.approx(6.0)
+        assert model.estimate(udp) == pytest.approx(0.6)
+
+    def test_nan_and_zero_observations_ignored(self):
+        model = CostModel()
+        model.observe(tiny(), float("nan"))
+        model.observe(tiny(), 0.0)
+        model.observe(tiny(), -1.0)
+        assert model.observations == 0
+
+    def test_seed_from_runlog(self):
+        config = tiny()
+        digest = config.config_digest()
+        events = [
+            {"event": "task_done", "digest": digest, "elapsed": 1.2},
+            {"event": "task_done", "digest": "unknown", "elapsed": 9.9},
+            {"event": "cache_hit", "digest": digest},
+        ]
+        model = CostModel()
+        seeded = model.seed_from_runlog(events, {digest: config})
+        assert seeded == 1
+        assert model.estimate(config) == pytest.approx(1.2)
+
+    def test_make_cost_model(self):
+        assert make_cost_model("fifo") is None
+        assert make_cost_model("cost") is not None
+        with pytest.raises(ValueError):
+            make_cost_model("random")
+
+    def test_runner_seeds_model_from_existing_runlog(self, tmp_path):
+        """A prior sweep's task_done rows seed the next sweep's model
+        through the shared JSONL file."""
+        path = str(tmp_path / "run.jsonl")
+        configs = [tiny(seed=s) for s in (1, 2)]
+        with RunLog(path) as log:
+            run_many(configs, processes=1, run_log=log)
+        with RunLog(path) as log:
+            runner = SweepRunner(processes=1, run_log=log)
+            model = runner._make_cost_model(configs)
+        assert model is not None
+        assert model.observations >= 1
+
+
+class TestValidationAndKnobs:
+    def test_runner_rejects_unknown_pool_and_schedule(self):
+        with pytest.raises(ValueError):
+            SweepRunner(pool="threads")
+        with pytest.raises(ValueError):
+            SweepRunner(schedule="random")
+        with pytest.raises(ValueError):
+            SweepRunner(heartbeat=0)
+
+    def test_fifo_schedule_runs(self):
+        configs = [tiny(seed=s) for s in (1, 2)]
+        assert run_many(configs, processes=1, schedule="fifo") == run_many(
+            configs, processes=1
+        )
+
+    def test_sweep_end_reports_utilization(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path) as log:
+            run_many(
+                [tiny(seed=s) for s in (1, 2)],
+                processes=2, timeout=60, pool="persistent", run_log=log,
+            )
+        events = read_runlog(path)
+        end = [e for e in events if e["event"] == "sweep_end"][-1]
+        assert end["makespan"] > 0
+        assert 0 <= end["utilization"] <= 1.5  # elapsed can overlap slightly
+        summary = summarize_runlog(events)
+        assert summary["completed"] == 2
+        assert summary["pool"] == "persistent"
+        assert summary["workers"] == 2
+        assert summary["per_worker"]

@@ -2,7 +2,7 @@
 
 Every benchmark asserts the paper's shape at seed 1; these tests check
 the core orderings are not one-seed flukes (short runs keep this
-cheap; the full-length evidence is in bench_fullscale_output.txt and
+cheap; the full-length evidence is in benchmarks/FULLSCALE.md and
 examples/error_bars.py).
 """
 
