@@ -10,8 +10,11 @@
   the literature the paper critiques (R/S, variance-time plots).
 * :mod:`repro.core.modulation` -- the paper's headline comparison:
   offered vs TCP-modulated aggregate statistics.
-* :mod:`repro.core.fluid` -- deterministic Reno/Vegas approximations
+* :mod:`repro.core.fluid` -- deterministic Reno/Vegas closed forms
   used as analytic cross-checks of simulator steady state.
+* :mod:`repro.core.fluid_backend` -- the mean-field fluid *scenario
+  backend*: the N -> infinity cwnd-distribution + queue ODE system,
+  solved as a drop-in replacement for the packet engine.
 """
 
 from repro.core.burstiness import (
@@ -43,9 +46,11 @@ from repro.core.theory import (
 )
 from repro.core.fluid import (
     reno_fluid_throughput,
+    reno_ideal_sawtooth_cov,
     reno_sawtooth_cov,
     vegas_equilibrium_window,
 )
+from repro.core.fluid_backend import FluidSolver, run_fluid_scenario
 
 __all__ = [
     "BurstinessProfile",
@@ -69,8 +74,11 @@ __all__ = [
     "peak_to_mean",
     "poisson_aggregate_cov",
     "poisson_cov_curve",
+    "FluidSolver",
     "reno_fluid_throughput",
+    "reno_ideal_sawtooth_cov",
     "reno_sawtooth_cov",
+    "run_fluid_scenario",
     "variance_time_plot",
     "vegas_equilibrium_window",
 ]

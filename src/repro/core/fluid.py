@@ -30,8 +30,8 @@ def reno_fluid_throughput(rtt: float, loss_probability: float) -> float:
     return math.sqrt(1.5) / (rtt * math.sqrt(loss_probability))
 
 
-def reno_sawtooth_cov() -> float:
-    """c.o.v. of the instantaneous rate of an ideal AIMD sawtooth.
+def reno_ideal_sawtooth_cov() -> float:
+    """c.o.v. of the instantaneous rate of an *ideal* AIMD sawtooth.
 
     The fluid window ramps linearly from W/2 to W, so the rate is a
     uniform ramp on [W/2, W]: mean 3W/4, variance W^2/48, hence
@@ -42,8 +42,26 @@ def reno_sawtooth_cov() -> float:
     with perfectly periodic loss -- a floor the simulated aggregate
     cannot beat once every flow is in the AIMD regime and decisions are
     synchronized.
+
+    Do not confuse this constant with the rate c.o.v. the mean-field
+    backend (:mod:`repro.core.fluid_backend`) reports: that one is
+    measured from the solved aggregate-rate trajectory (queue coupling,
+    timeout droughts, finite-rate sampling floor and all) and varies
+    with N, protocol, and gateway -- this closed form is valid only for
+    a single backlogged flow under perfectly periodic loss.
+    ``tests/test_fluid_modulation.py`` cross-checks the two.
     """
     return 4.0 / (3.0 * math.sqrt(48.0))
+
+
+def reno_sawtooth_cov() -> float:
+    """Deprecated alias of :func:`reno_ideal_sawtooth_cov`.
+
+    Kept for backward compatibility; the rename makes the "ideal
+    sawtooth only" validity explicit now that a fluid *backend* also
+    reports a (very different) rate c.o.v.
+    """
+    return reno_ideal_sawtooth_cov()
 
 
 def reno_sawtooth_period(rtt: float, window_peak: float) -> float:

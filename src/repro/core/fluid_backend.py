@@ -1,0 +1,468 @@
+"""Mean-field fluid scenario backend: the N -> infinity limit object.
+
+The packet engine's cost grows linearly in client count, topping out
+around N=500-1000 per run.  McDonald & Reynier's mean-field analysis of
+many TCP connections through a RED buffer shows that in the large-N
+limit the *empirical distribution* of congestion windows evolves
+deterministically, coupled to a scalar queue ODE.  This module solves
+that limit system directly, so a "scenario" at N=10^6 costs the same
+wall time as one at N=50 (the solver state is a window density, not N
+flows).
+
+The model (DESIGN.md section 12 gives the full derivation):
+
+* ``m(w, t)``: probability density of congestion windows over
+  ``[1, W_max]``, discretized into ``n_bins`` cells.  A separate scalar
+  compartment ``z(t)`` holds the fraction of flows waiting out a
+  retransmission timeout.
+* Sending rate of a window-``w`` flow: ``r(w) = min(lambda, w / RTT)``
+  with ``RTT = rtt_prop + q / C`` -- the paper's sources are rate-limited
+  (Poisson at ``lambda = 1/mean_gap``), not backlogged, which is what
+  couples burstiness to N in the first place.
+* Queue ODE: ``dq/dt = A (1 - p) - C`` clamped to ``[0, B]``, where
+  ``A = N * E[r]`` is the aggregate arrival rate and ``p`` the loss
+  probability (droptail overflow or RED's marking curve on the EWMA
+  average ``v``, integrated by an exact exponential sub-step).
+* Reno drift: additive increase ``dw/dt = r (1 - p_fb) / w``; loss
+  halves the window (an interpolated redistribution matrix moves
+  density from ``w`` to ``w/2``); halvings that would land below the
+  fast-retransmit threshold go to the timeout compartment instead.
+* Vegas drift: ``dw/dt = +-1 / RTT`` by comparing the delayed backlog
+  estimate ``d = r_fb (rtt_fb - rtt_prop)`` against ``alpha``/``beta``.
+* Loss feedback is *one RTT old* (ring buffers of ``p`` and ``q``):
+  this delay is the destabilizing element that produces the limit
+  cycles -- the deterministic skeleton of the paper's burstiness.
+* Droptail loss hits flows in bursts (whole windows clipped at the full
+  buffer), so its effective per-flow loss is boosted by a
+  window-dependent synchronization factor; RED's randomization
+  deliberately desynchronizes (factor 1).
+* Timeout droughts: mass entering ``z`` returns to ``w = 1`` spread
+  over ``[0.5 tau, 1.5 tau]`` with
+  ``tau = min_rto (1 + 2 p) / max(1 - p, 0.3)^2`` (coarse-timer backoff
+  under loss), reproducing the synchronized slow-start restarts.
+
+Integration is fixed-step RK4 with projection (density clipped to be
+non-negative and renormalized with ``z``; queue clamped to ``[0, B]``);
+no scipy dependency.  Validity envelope and tolerance bands versus the
+packet engine are documented in DESIGN.md section 12 and enforced by
+``tests/test_fluid_differential.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.theory import poisson_aggregate_cov
+
+__all__ = ["FluidSolver", "run_fluid_scenario", "fluid_rate_cov"]
+
+#: Window value below which a halving is modeled as a timeout instead of
+#: a fast retransmit (fewer than 3 packets in flight cannot generate the
+#: triple duplicate ACK).
+_TIMEOUT_WINDOW = 3.0
+
+
+def _smoothstep(x: float, lo: float, hi: float) -> float:
+    t = min(max((x - lo) / (hi - lo), 0.0), 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def fluid_rate_cov(
+    times: np.ndarray,
+    rates: np.ndarray,
+    dt: float,
+    bin_width: float,
+    warmup: float,
+    duration: float,
+    sampling_floor: bool = True,
+) -> np.ndarray:
+    """Bin a continuous aggregate arrival-rate series into per-bin
+    packet counts, the fluid analogue of the gateway arrival monitor.
+
+    Returns the bin-count array; the caller computes c.o.v. from it.
+    When ``sampling_floor`` is set the counts are later combined with
+    the finite-rate Poisson sampling variance (``var + mean``), because
+    a fluid rate ``A(t)`` describes the *intensity* of a point process:
+    even a perfectly constant intensity yields ``var = mean`` packet
+    counts.  Without the floor the counts measure pure deterministic
+    modulation (the N -> infinity limit of c.o.v.).
+    """
+    mask = times >= warmup
+    nb = max(int((duration - warmup) / bin_width), 1)
+    idx = np.minimum(((times[mask] - warmup) / bin_width).astype(int), nb - 1)
+    return np.bincount(idx, weights=rates[mask] * dt, minlength=nb)
+
+
+class FluidSolver:
+    """The discretized mean-field system for one scenario.
+
+    Parameters mirror the physics fields of
+    :class:`~repro.experiments.config.ScenarioConfig`;
+    :func:`run_fluid_scenario` maps a config onto them.  ``loss_override``
+    pins the loss probability to a constant (bypassing the queue/RED
+    coupling) for property tests of the density dynamics alone.
+    """
+
+    def __init__(
+        self,
+        *,
+        protocol: str = "reno",
+        queue: str = "fifo",
+        n_flows: int = 50,
+        duration: float = 60.0,
+        warmup: float = 0.0,
+        rtt_prop: float = 0.404,
+        capacity_pps: float = 375.0,
+        buffer_packets: float = 50.0,
+        per_flow_rate: float = 10.0,
+        max_window: float = 20.0,
+        vegas_alpha: float = 1.0,
+        vegas_beta: float = 3.0,
+        red_min_th: float = 10.0,
+        red_max_th: float = 40.0,
+        red_max_p: float = 0.1,
+        red_weight: float = 0.002,
+        min_rto: float = 1.0,
+        n_bins: int = 96,
+        dt: Optional[float] = None,
+        loss_override: Optional[float] = None,
+    ) -> None:
+        if protocol not in ("reno", "vegas"):
+            raise ValueError(f"fluid solver models reno/vegas, not {protocol!r}")
+        if queue not in ("fifo", "red"):
+            raise ValueError(f"fluid solver models fifo/red, not {queue!r}")
+        self.protocol, self.queue = protocol, queue
+        self.n = n_flows
+        self.duration, self.warmup = duration, warmup
+        self.rtt_prop, self.C, self.B = rtt_prop, capacity_pps, float(buffer_packets)
+        self.lam = per_flow_rate
+        self.alpha, self.beta = vegas_alpha, vegas_beta
+        self.red_min, self.red_max = red_min_th, red_max_th
+        self.red_maxp, self.red_weight = red_max_p, red_weight
+        self.min_rto = min_rto
+        self.loss_override = loss_override
+        self.M = n_bins
+        self.wlo, self.whi = 1.0, float(max_window)
+        self.dw = (self.whi - self.wlo) / self.M
+        self.w = self.wlo + (np.arange(self.M) + 0.5) * self.dw
+        if dt is None:
+            # CFL-limited by the fastest advection (one window per RTT
+            # across a bin) and capped well below the feedback delay.
+            dt = min(0.4 * self.dw * self.rtt_prop, 0.25 * self.rtt_prop, 0.05)
+        self.dt = dt
+        # Halving redistribution: mass at w_j lands at w_j / 2, linearly
+        # interpolated between the two straddling bins.
+        self.half_lo = np.zeros(self.M, dtype=int)
+        self.half_hi = np.zeros(self.M, dtype=int)
+        self.half_frac = np.zeros(self.M)
+        for j in range(self.M):
+            target = max(self.w[j] / 2.0, self.wlo)
+            pos = (target - self.wlo) / self.dw - 0.5
+            lo = int(np.floor(pos))
+            frac = pos - lo
+            self.half_lo[j] = min(max(lo, 0), self.M - 1)
+            self.half_hi[j] = min(max(lo + 1, 0), self.M - 1)
+            self.half_frac[j] = min(max(frac, 0.0), 1.0)
+        self.to_mask = self.w < _TIMEOUT_WINDOW
+        # Timeout-return pipeline state (set per step by run()).
+        self._to_return = 0.0
+        self._to_entry = 0.0
+        self._tau_now = min_rto
+
+    # ------------------------------------------------------------------
+    def loss_probability(self, q: float, v: float, arrival_rate: float) -> float:
+        """Instantaneous loss probability from queue state.
+
+        Droptail: the overflow fraction ``1 - C/A`` smoothly switched on
+        as the queue reaches the full buffer.  RED: the marking curve on
+        the EWMA average ``v``, plus overflow when the instantaneous
+        queue still fills.
+        """
+        if self.loss_override is not None:
+            return self.loss_override
+        p_tail = max(0.0, 1.0 - self.C / max(arrival_rate, self.C)) * _smoothstep(
+            q, self.B - 2.0, self.B - 0.25
+        )
+        if self.queue == "red":
+            if v < self.red_min:
+                p_red = 0.0
+            elif v < self.red_max:
+                p_red = self.red_maxp * (v - self.red_min) / (self.red_max - self.red_min)
+            else:
+                p_red = 1.0
+            return min(1.0, p_red + p_tail * (1.0 - p_red))
+        return p_tail
+
+    def rates(self, q: float):
+        """Per-bin sending rates and the common RTT at queue level q."""
+        rtt = self.rtt_prop + min(max(q, 0.0), self.B) / self.C
+        return np.minimum(self.lam, self.w / rtt), rtt
+
+    def rhs(self, m: np.ndarray, z: float, q: float, v: float,
+            p_fb: float, q_fb: float):
+        """Time derivatives of (m, z, q) plus diagnostics.
+
+        ``p_fb``/``q_fb`` are the one-RTT-delayed loss probability and
+        queue level the windows react to.  Probability mass is conserved
+        exactly: ``sum(dm) + dz == 0`` (the queue is not part of the
+        distribution).
+        """
+        qc = min(max(q, 0.0), self.B)
+        r, rtt = self.rates(qc)
+        arrival = self.n * float(r @ m)
+        p = self.loss_probability(qc, v, arrival)
+        accepted = arrival * (1.0 - p)
+        dq = accepted - self.C
+        if qc >= self.B - 1e-9 and dq > 0:
+            dq = 0.0
+        if qc <= 1e-9 and dq < 0:
+            dq = 0.0
+        # Window drift, reacting to one-RTT-old feedback.
+        r_fb, rtt_fb = self.rates(q_fb)
+        if self.protocol == "reno":
+            a = r * (1.0 - p_fb) / self.w
+        else:
+            backlog = r_fb * (rtt_fb - self.rtt_prop)
+            u = np.where(
+                backlog < self.alpha, 1.0,
+                np.where(backlog > self.beta, -1.0, 0.0),
+            )
+            a = u / rtt
+        dm = np.zeros(self.M)
+        # First-order upwind advection of the density.
+        ap = np.maximum(a, 0.0)
+        ap[-1] = 0.0
+        am = np.minimum(a, 0.0)
+        am[0] = 0.0
+        flux_up = ap * m / self.dw
+        flux_dn = am * m / self.dw
+        dm -= flux_up
+        dm[1:] += flux_up[:-1]
+        dm += flux_dn
+        dm[:-1] -= flux_dn[1:]
+        # Loss-driven halving.  Droptail overflow clips whole windows at
+        # the full buffer, hitting large-window flows in synchronized
+        # bursts; RED's randomized early marks do not (sync factor 1).
+        if self.queue != "red":
+            sync = 1.0 + 2.0 * np.clip((self.w - 1.0) / 2.0, 0.0, 1.0)
+        else:
+            sync = 1.0
+        mu = np.minimum(sync * p_fb * r, 1.0 / rtt)
+        h = mu * m
+        to_inflow = float(h[self.to_mask].sum())
+        h_stay = h.copy()
+        h_stay[self.to_mask] = 0.0
+        dm -= h
+        np.add.at(dm, self.half_lo, h_stay * (1.0 - self.half_frac))
+        np.add.at(dm, self.half_hi, h_stay * self.half_frac)
+        # Timeout compartment: inflow now, outflow from the delayed
+        # pipeline (computed by run() from the entry history).
+        tau = self.min_rto * (1.0 + 2.0 * p_fb) / max(1.0 - p_fb, 0.3) ** 2
+        back = self._to_return
+        dz = to_inflow - back
+        dm[0] += back
+        self._to_entry = to_inflow
+        self._tau_now = tau
+        return dm, dz, dq, arrival, p, accepted, float(h_stay.sum())
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, np.ndarray]:
+        """Integrate to ``duration``; returns the trajectory arrays."""
+        m = np.zeros(self.M)
+        m[0] = 1.0  # every flow starts at w = 1 (slow start from cold)
+        z, q, v = 0.0, 0.0, 0.0
+        steps = int(round(self.duration / self.dt))
+        t_arr = np.empty(steps)
+        A_arr = np.empty(steps)
+        q_arr = np.empty(steps)
+        p_arr = np.empty(steps)
+        s_arr = np.empty(steps)
+        w_arr = np.empty(steps)
+        z_arr = np.empty(steps)
+        fr_arr = np.empty(steps)
+        to_arr = np.empty(steps)
+        p_hist = np.zeros(steps + 1)
+        q_hist = np.zeros(steps + 1)
+        in_hist = np.zeros(steps + 1)
+        self._to_return = 0.0
+        for i in range(steps):
+            rtt_now = self.rtt_prop + q / self.C
+            lag = max(int(round(rtt_now / self.dt)), 1)
+            j = max(i - lag, 0)
+            p_fb, q_fb = p_hist[j], q_hist[j]
+            # RK4 on (m, z, q); the RED average uses an exact EWMA
+            # sub-step afterwards (operator splitting keeps the slow
+            # average from stiffening the stage equations).
+            k1 = self.rhs(m, z, q, v, p_fb, q_fb)
+            k2 = self.rhs(m + 0.5 * self.dt * k1[0], z + 0.5 * self.dt * k1[1],
+                          q + 0.5 * self.dt * k1[2], v, p_fb, q_fb)
+            k3 = self.rhs(m + 0.5 * self.dt * k2[0], z + 0.5 * self.dt * k2[1],
+                          q + 0.5 * self.dt * k2[2], v, p_fb, q_fb)
+            k4 = self.rhs(m + self.dt * k3[0], z + self.dt * k3[1],
+                          q + self.dt * k3[2], v, p_fb, q_fb)
+            m = m + self.dt / 6.0 * (k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0])
+            z = z + self.dt / 6.0 * (k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1])
+            q = q + self.dt / 6.0 * (k1[2] + 2 * k2[2] + 2 * k3[2] + k4[2])
+            # Projection: clip and renormalize so (m, z) stays a
+            # probability distribution and q stays in the buffer.
+            m = np.maximum(m, 0.0)
+            q = min(max(q, 0.0), self.B)
+            z = min(max(z, 0.0), 1.0)
+            total = m.sum() + z
+            if total > 0:
+                m /= total
+                z /= total
+            arrival, p, accepted = k1[3], k1[4], k1[5]
+            p_hist[i] = p
+            q_hist[i] = q
+            in_hist[i] = self._to_entry
+            # Timeout returns: mass that entered z between 0.5 tau and
+            # 1.5 tau ago comes back now (spread return kernel -- the
+            # coarse 500 ms timers quantize individual RTOs, but backoff
+            # state disperses them across about one tau).
+            lag_lo = max(int(round(0.5 * self._tau_now / self.dt)), 1)
+            lag_hi = max(int(round(1.5 * self._tau_now / self.dt)), lag_lo + 1)
+            jlo, jhi = max(i - lag_hi, 0), max(i - lag_lo, 0)
+            self._to_return = (
+                float(in_hist[jlo:jhi].mean()) if jhi > jlo and i >= lag_lo else 0.0
+            )
+            if self.queue == "red":
+                k = self.red_weight * max(arrival, 1e-9)
+                v = q + (v - q) * math.exp(-k * self.dt)
+            t_arr[i] = i * self.dt
+            A_arr[i] = arrival
+            q_arr[i] = q
+            p_arr[i] = p
+            z_arr[i] = z
+            s_arr[i] = self.C if q > 1e-9 else min(accepted, self.C)
+            fr_arr[i] = k1[6]
+            to_arr[i] = self._to_entry
+            act = m.sum()
+            w_arr[i] = float(self.w @ m) / act if act > 0 else 1.0
+        self._final_m, self._final_z = m, z
+        return dict(t=t_arr, A=A_arr, q=q_arr, p=p_arr, s=s_arr, w=w_arr,
+                    z=z_arr, fr=fr_arr, to=to_arr)
+
+    # ------------------------------------------------------------------
+    def summarize(self, traj: Dict[str, np.ndarray], bin_width: float,
+                  sampling_floor: bool = True) -> Dict[str, float]:
+        """Fold a trajectory into the scalar metrics a sweep keeps."""
+        counts = fluid_rate_cov(
+            traj["t"], traj["A"], self.dt, bin_width,
+            self.warmup, self.duration,
+        )
+        mean = counts.mean()
+        var = counts.var()
+        if sampling_floor:
+            # The fluid rate is a point-process intensity: finite-rate
+            # Poisson sampling adds var = mean on top of the
+            # deterministic modulation.
+            var = var + mean
+        cov = math.sqrt(var) / mean if mean > 0 else float("nan")
+        throughput_pps = float(traj["s"].sum() * self.dt / self.duration)
+        arrivals = float(traj["A"].sum() * self.dt)
+        drops = float((traj["A"] * traj["p"]).sum() * self.dt)
+        fast_rtx = float(traj["fr"].sum() * self.dt) * self.n
+        timeouts = float(traj["to"].sum() * self.dt) * self.n
+        # Accepted-traffic-weighted mean RTT (application-to-ACK latency
+        # has no retransmission tail in the fluid limit).
+        accepted = traj["A"] * (1.0 - traj["p"])
+        weight = accepted.sum()
+        rtt_series = self.rtt_prop + traj["q"] / self.C
+        mean_latency = (
+            float((rtt_series * accepted).sum() / weight) if weight > 0 else 0.0
+        )
+        return dict(
+            cov=cov,
+            bin_counts=counts,
+            throughput_pps=throughput_pps,
+            throughput_packets=int(round(throughput_pps * self.duration)),
+            mean_queue=float(traj["q"].mean()),
+            loss_percent=100.0 * drops / arrivals if arrivals else 0.0,
+            gateway_arrivals=int(round(arrivals)),
+            gateway_drops=int(round(drops)),
+            utilization=throughput_pps / self.C if self.C else 0.0,
+            timeouts=int(round(timeouts)),
+            fast_retransmits=int(round(fast_rtx)),
+            mean_latency=mean_latency,
+            max_latency=float(rtt_series.max()) if rtt_series.size else 0.0,
+            steps=int(traj["t"].size),
+        )
+
+
+def run_fluid_scenario(config) -> "ScenarioResult":  # noqa: F821
+    """Solve the mean-field system for one config and package the
+    result as a :class:`~repro.experiments.scenario.ScenarioResult`
+    with the same fields the packet engine fills, so sweeps, caching,
+    figures, and the CLI work unchanged.
+
+    Fluid-specific conventions: ``per_flow`` is empty (the limit has no
+    individual flows, so fairness is NaN), ``dupacks``/``red_marks`` are
+    0, ``events_executed`` counts RK4 steps, and ``cov`` includes the
+    finite-rate Poisson sampling floor so it is directly comparable to
+    the packet engine's binned-count c.o.v.
+    """
+    from repro.experiments.scenario import ScenarioResult
+    from repro.obs.engineprof import peak_rss_kb
+
+    config.validate()
+    solver = FluidSolver(
+        protocol=config.protocol,
+        queue=config.queue,
+        n_flows=config.n_clients,
+        duration=config.duration,
+        warmup=config.warmup,
+        rtt_prop=config.rtt_prop,
+        capacity_pps=config.bottleneck_capacity_pps,
+        buffer_packets=config.buffer_capacity,
+        per_flow_rate=config.per_client_rate,
+        max_window=config.advertised_window,
+        vegas_alpha=config.vegas_alpha,
+        vegas_beta=config.vegas_beta,
+        red_min_th=config.red_min_th,
+        red_max_th=config.red_max_th,
+        red_max_p=config.red_max_p,
+        red_weight=config.red_weight,
+        min_rto=config.min_rto,
+    )
+    start = time.perf_counter()
+    traj = solver.run()
+    summary = solver.summarize(traj, config.effective_bin_width)
+    wall_time = time.perf_counter() - start
+    if config.traffic == "poisson":
+        analytic = poisson_aggregate_cov(
+            config.n_clients, config.per_client_rate, config.effective_bin_width
+        )
+    else:
+        analytic = float("nan")
+    return ScenarioResult(
+        config=config,
+        cov=summary["cov"],
+        # The fluid offered process is the exact Poisson superposition.
+        offered_cov=analytic,
+        analytic_cov=analytic,
+        throughput_packets=summary["throughput_packets"],
+        throughput_pps=summary["throughput_pps"],
+        loss_percent=summary["loss_percent"],
+        gateway_arrivals=summary["gateway_arrivals"],
+        gateway_drops=summary["gateway_drops"],
+        timeouts=summary["timeouts"],
+        fast_retransmits=summary["fast_retransmits"],
+        dupacks=0,
+        mean_latency=summary["mean_latency"],
+        max_latency=summary["max_latency"],
+        bin_counts=summary["bin_counts"],
+        offered_bin_counts=np.zeros(0),
+        per_flow=[],
+        cwnd_traces={},
+        mean_queue_length=summary["mean_queue"],
+        red_marks=0,
+        utilization=summary["utilization"],
+        events_executed=summary["steps"],
+        wall_time=wall_time,
+        peak_rss_kb=peak_rss_kb(),
+    )

@@ -45,6 +45,7 @@ from repro.analysis.asciiplot import ascii_step_plot
 from repro.analysis.tables import format_table
 from repro.experiments.config import WORKLOADS, paper_config, table1_rows
 from repro.experiments.figures import (
+    FLUID_CLIENT_COUNTS,
     LARGEN_CLIENT_COUNTS,
     FigureData,
     cwnd_trace_experiment,
@@ -52,7 +53,9 @@ from repro.experiments.figures import (
     figure3_throughput,
     figure4_loss,
     figure13_timeout_ratio,
+    figure_fluid_cov,
     figure_largen_cov,
+    run_fluid_sweep,
     run_largen_sweep,
     run_protocol_sweep,
 )
@@ -98,6 +101,14 @@ def _non_negative_int(value: str) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=None, help="run length, s")
     parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    parser.add_argument(
+        "--backend",
+        choices=["packet", "fluid"],
+        default=None,
+        help="scenario solver: the discrete-event packet engine "
+        "(default) or the mean-field fluid limit (reno/vegas x "
+        "fifo/red, cost independent of client count)",
+    )
     parser.add_argument(
         "--scheduler",
         choices=["heap", "wheel"],
@@ -265,6 +276,8 @@ def _base_config(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if getattr(args, "scheduler", None) is not None:
         overrides["scheduler"] = args.scheduler
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     overrides.update(_workload_overrides(args))
     return paper_config(**overrides)
 
@@ -462,6 +475,19 @@ def _cmd_largen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    """The mean-field c.o.v. sweep (Figure 2 out to N=10^6)."""
+    base = _base_config(args)
+    sweep = run_fluid_sweep(
+        args.clients,
+        base=base,
+        processes=args.processes,
+        **_runner_kwargs(args),
+    )
+    _emit_figure(figure_fluid_cov(sweep, base), args)
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     """Regenerate every sweep-derived paper artifact into a directory."""
     import os
@@ -625,6 +651,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(largen_parser)
 
+    fluid_parser = sub.add_parser(
+        "fluid",
+        help="mean-field c.o.v. sweep out to N=1e6 (fluid backend)",
+    )
+    fluid_parser.add_argument(
+        "--clients",
+        type=parse_range,
+        default=list(FLUID_CLIENT_COUNTS),
+        help="client counts, as start:stop:step or a comma list",
+    )
+    _add_common(fluid_parser)
+
     cwnd_parser = sub.add_parser("cwnd", help="congestion-window traces (Figures 5-12)")
     cwnd_parser.add_argument("--protocol", default="reno")
     cwnd_parser.add_argument("--queue", default="fifo")
@@ -685,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig4": _cmd_sweep_figure,
         "fig13": _cmd_sweep_figure,
         "largen": _cmd_largen,
+        "fluid": _cmd_fluid,
         "cwnd": _cmd_cwnd,
         "all": _cmd_all,
         "replicate": _cmd_replicate,

@@ -21,7 +21,11 @@ from typing import Any, Dict, List, Optional, Tuple
 #: fields) and the sink delivery-hook plumbing behind them.
 #: v3: flight-recorder observability (``perf_*``/``obs_*`` summary
 #: fields on ScenarioMetrics; older cache entries lack them).
-CONFIG_SCHEMA_VERSION = 3
+#: v4: the ``backend`` knob (packet engine vs mean-field fluid solver)
+#: joins the digest, and ScenarioMetrics records which backend produced
+#: each row; pre-backend cache entries are retired wholesale rather
+#: than being silently reinterpreted as packet results.
+CONFIG_SCHEMA_VERSION = 4
 
 #: Fields that only control *observation* (what gets traced), never the
 #: simulated dynamics or any physics-derived ScenarioMetrics value, and
@@ -57,6 +61,13 @@ PROTOCOLS = (
 # Gateway queueing disciplines.
 QUEUES = ("fifo", "red", "ared", "drr")
 
+# Scenario backends: the discrete-event packet engine (ground truth at
+# any N it can afford) or the mean-field fluid solver (the N -> infinity
+# limit system; cost independent of n_clients).  The fluid backend
+# models the paper's core grid only -- Reno/Vegas through a droptail or
+# RED gateway under the open-loop workload; see validate().
+BACKENDS = ("packet", "fluid")
+
 # Application workloads: "open" is the paper's open-loop traffic (the
 # `traffic` field picks the source); the rest are the closed-loop
 # distributed-computing jobs of :mod:`repro.apps`.
@@ -70,6 +81,12 @@ class ScenarioConfig:
     # Experiment identity.
     protocol: str = "reno"
     queue: str = "fifo"
+    # Which solver produces the metrics: "packet" (discrete-event
+    # engine) or "fluid" (mean-field ODE limit).  Digest-included: the
+    # two backends agree only within documented tolerance bands
+    # (tests/test_fluid_differential.py), so their results must never
+    # satisfy each other's cache lookups.
+    backend: str = "packet"
     n_clients: int = 20
     duration: float = 200.0  # Table 1: total test time
     warmup: float = 0.0  # measurement start (0 = measure from t=0, as the paper)
@@ -230,6 +247,8 @@ class ScenarioConfig:
             "reno_ecn": "Reno/ECN",
         }
         base = names.get(self.protocol, self.protocol)
+        if self.backend == "fluid":
+            base = f"{base}~fluid"
         if self.pacing:
             base = f"{base}/Paced"
         if self.workload != "open":
@@ -253,6 +272,40 @@ class ScenarioConfig:
             )
         if self.queue not in QUEUES:
             raise ValueError(f"unknown queue {self.queue!r}; choose from {QUEUES}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.backend == "fluid":
+            # The mean-field system is derived for the paper's core
+            # grid; anything outside it silently running the wrong
+            # physics would be worse than an error.
+            if self.protocol not in ("reno", "vegas"):
+                raise ValueError(
+                    "the fluid backend models reno/vegas only; "
+                    f"got protocol {self.protocol!r}"
+                )
+            if self.queue not in ("fifo", "red"):
+                raise ValueError(
+                    "the fluid backend models fifo/red gateways only; "
+                    f"got queue {self.queue!r}"
+                )
+            if self.workload != "open":
+                raise ValueError(
+                    "the fluid backend supports the open-loop workload only"
+                )
+            if self.traffic not in ("poisson", "cbr"):
+                raise ValueError(
+                    "the fluid backend models rate-limited poisson/cbr "
+                    f"sources only; got traffic {self.traffic!r}"
+                )
+            if self.pacing:
+                raise ValueError("the fluid backend does not model pacing")
+            if self.obs_trace or self.obs_profile:
+                raise ValueError(
+                    "the fluid backend has no flight recorder; disable "
+                    "obs_trace/obs_profile"
+                )
         if self.n_clients < 1:
             raise ValueError("need at least one client")
         if self.duration <= 0:

@@ -8,16 +8,24 @@ scheduling, which needs a per-cell cost estimate.
 
 :class:`CostModel` predicts a cell's wall time as::
 
-    estimate(config) = alpha[lane] * duration * n_clients
+    estimate(config) = alpha[lane] * units(config)
 
-where a *lane* is the ``(protocol, queue, workload)`` triple (the knobs
-that change per-event cost, not event count) and ``alpha`` is learned
+where a *lane* is the ``(backend, protocol, queue, workload)`` tuple
+(the knobs that change per-unit cost, not unit count) and ``alpha`` is
+learned
 from observed wall times: every completed cell refines its lane, cache
 hits contribute their recorded ``perf_wall_time``, and a previous run's
 JSONL :class:`~repro.experiments.runlog.RunLog` can seed the model
 before the first cell launches.  With no observations at all the model
-degrades to pure ``duration * n_clients`` ordering, which is already a
-good LPT key because simulated event count scales with both.
+degrades to pure unit-count ordering, which is already a good LPT key
+because simulated event count scales with the units.
+
+Packet cells cost ``duration * n_clients`` units (event count grows in
+both); fluid cells cost ``duration`` alone -- the mean-field solver's
+state is a window density, so its wall time is independent of N.
+Keeping ``backend`` in the lane key means the two alphas are learned
+separately and a mixed packet/fluid grid is still scheduled LPT-first
+on sane estimates.
 """
 
 from __future__ import annotations
@@ -29,21 +37,26 @@ from repro.experiments.config import ScenarioConfig
 #: The scheduling lanes a SweepRunner can run under.
 SCHEDULES = ("cost", "fifo")
 
-_Lane = Tuple[str, str, str]
+_Lane = Tuple[str, str, str, str]
 
 
 def cell_units(config: ScenarioConfig) -> float:
     """The size proxy a cost estimate scales with.
 
-    Simulated event count grows roughly linearly in both the simulated
-    duration and the number of clients, so their product is the natural
-    unit of work for a first-order wall-time model.
+    Packet cells: simulated event count grows roughly linearly in both
+    the simulated duration and the number of clients, so their product
+    is the natural unit of work.  Fluid cells: the ODE solver's step
+    count depends on duration only (its state is a window density, not
+    N flows), so n_clients drops out of the estimate.
     """
-    return max(config.duration, 1e-9) * max(config.n_clients, 1)
+    units = max(config.duration, 1e-9)
+    if config.backend != "fluid":
+        units *= max(config.n_clients, 1)
+    return units
 
 
 class CostModel:
-    """Learned ``wall seconds per (sim second x client)`` by lane."""
+    """Learned wall seconds per cell unit, by scheduling lane."""
 
     def __init__(self) -> None:
         self._wall: Dict[_Lane, float] = {}
@@ -53,7 +66,7 @@ class CostModel:
 
     @staticmethod
     def lane(config: ScenarioConfig) -> _Lane:
-        return (config.protocol, config.queue, config.workload)
+        return (config.backend, config.protocol, config.queue, config.workload)
 
     # ------------------------------------------------------------------
     def observe(self, config: ScenarioConfig, wall_seconds: float) -> None:

@@ -69,6 +69,9 @@ class ScenarioMetrics:
     fairness: float
     mean_latency: float
     max_latency: float
+    #: Which solver produced this row ("packet" or "fluid"); the
+    #: default covers records written by pre-backend versions.
+    backend: str = "packet"
     # Job-level application metrics (closed-loop workloads; the fields
     # default to empty/NaN for open-loop runs and records written by
     # pre-workload versions of this code).
@@ -187,6 +190,7 @@ class ScenarioMetrics:
             protocol=config.protocol,
             queue=config.queue,
             label=config.label,
+            backend=config.backend,
             n_clients=config.n_clients,
             seed=config.seed,
             duration=config.duration,
@@ -226,6 +230,7 @@ class ScenarioMetrics:
             protocol=config.protocol,
             queue=config.queue,
             label=config.label,
+            backend=config.backend,
             n_clients=config.n_clients,
             seed=config.seed,
             duration=config.duration,

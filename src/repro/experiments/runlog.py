@@ -11,12 +11,14 @@ Events (all carry ``t`` = wall-clock seconds and ``event``):
 * ``sweep_start``    -- ``total`` cells, worker count, cache directory,
   executor ``pool`` and ``schedule``.
 * ``task_start``     -- ``index``, ``digest``, ``label``, ``attempt``,
-  and (persistent pool) the ``worker`` id it was dispatched to.
-* ``cache_hit``      -- ``index``, ``digest``.
+  the scenario ``backend`` (``packet``/``fluid``), and (persistent
+  pool) the ``worker`` id it was dispatched to.
 * ``task_done``      -- ``index``, ``digest``, ``elapsed``, ``attempt``
-  count, scheduling ``lane`` (``cost``/``fifo``), ``worker`` id, plus
-  engine telemetry when available: ``events_executed``,
-  ``sim_wall_ratio``, ``peak_rss_kb``.
+  count, scheduling ``lane`` (``cost``/``fifo``), the scenario
+  ``backend``, ``worker`` id, plus engine telemetry when available:
+  ``events_executed``, ``sim_wall_ratio``, ``peak_rss_kb``.  The
+  backend tag lets a later sweep's cost model learn separate
+  wall-time alphas for fluid vs packet cells from this log.
 * ``task_retry``     -- ``index``, ``digest``, ``attempt``, ``error``,
   ``delay``.
 * ``task_failed``    -- ``index``, ``digest``, ``error`` (retries
@@ -141,10 +143,13 @@ class RunLog:
         label: str,
         attempt: int,
         worker: Optional[int] = None,
+        backend: str = "",
     ) -> None:
         extras: Dict[str, Any] = {}
         if worker is not None:
             extras["worker"] = worker
+        if backend:
+            extras["backend"] = backend
         self.emit(
             "task_start",
             index=index,
@@ -169,16 +174,20 @@ class RunLog:
         attempt: int = 0,
         lane: str = "",
         worker: Optional[int] = None,
+        backend: str = "",
     ) -> None:
         """Record one completed cell, with optional engine telemetry.
 
         ``attempt`` is how many failed attempts preceded this success
         and ``lane`` names the scheduling policy (``cost``/``fifo``)
         that ordered the cell, so retries and makespan wins stay
-        auditable from the JSONL log.  The engine extras (events
-        executed, simulated-seconds per wall second, peak RSS) come from
-        the flight recorder's ``perf_*`` metrics; None (or NaN) values
-        are simply omitted from the record.
+        auditable from the JSONL log.  ``backend`` tags the row with the
+        solver that produced it (``packet``/``fluid``) so cost models
+        seeded from this log keep the two wall-time regimes apart.  The
+        engine extras (events executed, simulated-seconds per wall
+        second, peak RSS) come from the flight recorder's ``perf_*``
+        metrics; None (or NaN) values are simply omitted from the
+        record.
         """
         self.progress.completed += 1
         self._busy += max(elapsed, 0.0)
@@ -193,6 +202,8 @@ class RunLog:
             extras["lane"] = lane
         if worker is not None:
             extras["worker"] = worker
+        if backend:
+            extras["backend"] = backend
         self.emit(
             "task_done",
             index=index,
@@ -303,6 +314,7 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "utilization": float("nan"),
         "per_worker": {},
         "lanes": {},
+        "backends": {},
         "slowest": [],
     }
     per_worker: Dict[Any, Dict[str, float]] = {}
@@ -333,6 +345,13 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             lane = event.get("lane", "")
             if lane:
                 summary["lanes"][lane] = summary["lanes"].get(lane, 0) + 1
+            backend = event.get("backend", "")
+            if backend:
+                backend_stats = summary["backends"].setdefault(
+                    backend, {"cells": 0, "busy": 0.0}
+                )
+                backend_stats["cells"] += 1
+                backend_stats["busy"] += elapsed
             worker = event.get("worker")
             stats = per_worker.setdefault(
                 worker, {"cells": 0, "busy": 0.0}
@@ -393,6 +412,12 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
         f"failed={summary['failed']} retried={summary['retried']} "
         f"respawned={summary['respawned']}"
     )
+    if summary["backends"]:
+        parts = [
+            f"{backend}: {stats['cells']} cells, {stats['busy']:.3f}s busy"
+            for backend, stats in sorted(summary["backends"].items())
+        ]
+        lines.append("backends: " + "; ".join(parts))
     if summary["per_worker"]:
         rows = [
             [

@@ -375,6 +375,7 @@ class SweepRunner:
             attempt=task.attempt,
             lane=self.schedule,
             worker=worker,
+            backend=task.config.backend,
         )
 
     def _retry_delay(self, attempt: int) -> float:
@@ -443,7 +444,8 @@ class SweepRunner:
             while True:
                 started = time.monotonic()
                 self.log.task_start(
-                    task.index, task.digest, task.config.label, task.attempt
+                    task.index, task.digest, task.config.label, task.attempt,
+                    backend=task.config.backend,
                 )
                 try:
                     metrics = self.task(task.config)
@@ -473,7 +475,10 @@ class SweepRunner:
             args=(self.task, task.config, send_conn),
             daemon=True,
         )
-        self.log.task_start(task.index, task.digest, task.config.label, task.attempt)
+        self.log.task_start(
+            task.index, task.digest, task.config.label, task.attempt,
+            backend=task.config.backend,
+        )
         process.start()
         send_conn.close()  # keep only the child's copy of the write end
         started = time.monotonic()
@@ -620,7 +625,7 @@ class SweepRunner:
     def _dispatch(self, worker: _PoolWorker, task: _Task) -> None:
         self.log.task_start(
             task.index, task.digest, task.config.label, task.attempt,
-            worker=worker.id,
+            worker=worker.id, backend=task.config.backend,
         )
         worker.current = task
         worker.started = time.monotonic()

@@ -593,5 +593,15 @@ class Scenario:
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario (the one-call public entry point)."""
+    """Build and run one scenario (the one-call public entry point).
+
+    Dispatches on ``config.backend``: the discrete-event packet engine
+    (default) or the mean-field fluid solver
+    (:func:`repro.core.fluid_backend.run_fluid_scenario`), both
+    returning the same :class:`ScenarioResult` shape.
+    """
+    if config.backend == "fluid":
+        from repro.core.fluid_backend import run_fluid_scenario
+
+        return run_fluid_scenario(config)
     return Scenario(config).run()

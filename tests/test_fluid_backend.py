@@ -1,0 +1,266 @@
+"""Property and integration tests for the mean-field fluid backend.
+
+The solver-level tests pin the mathematical invariants of the ODE
+system (probability-mass conservation, monotone throughput in loss
+rate, the Vegas fixed point matching the closed forms); the
+integration tests pin the backend plumbing (config digest, validation,
+ScenarioResult/ScenarioMetrics shape, cost-model lanes, run-log
+tagging).  Agreement with the packet engine is a separate suite:
+tests/test_fluid_differential.py.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fluid import vegas_equilibrium_queue, vegas_equilibrium_window
+from repro.core.fluid_backend import FluidSolver, run_fluid_scenario
+from repro.experiments.config import CONFIG_SCHEMA_VERSION, paper_config
+from repro.experiments.costmodel import CostModel, cell_units
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.runlog import RunLog, summarize_runlog
+from repro.experiments.scenario import run_scenario
+
+
+def fluid_config(**overrides):
+    defaults = dict(
+        protocol="reno",
+        queue="fifo",
+        backend="fluid",
+        n_clients=50,
+        duration=30.0,
+        warmup=5.0,
+    )
+    defaults.update(overrides)
+    return paper_config(**defaults)
+
+
+class TestMassConservation:
+    def test_rhs_conserves_probability_mass(self):
+        """sum(dm) + dz == 0 for arbitrary (valid) states: advection,
+        halving redistribution, and the timeout pipeline only move mass
+        around, never create or destroy it."""
+        solver = FluidSolver(protocol="reno", queue="fifo", n_flows=200)
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            z = float(rng.uniform(0.0, 0.3))
+            m = rng.random(solver.M)
+            m = m / m.sum() * (1.0 - z)
+            solver._to_return = float(rng.uniform(0.0, 0.02))
+            q = float(rng.uniform(0.0, solver.B))
+            dm, dz, *_ = solver.rhs(m, z, q, q * 0.8, 0.08, q * 0.9)
+            assert abs(float(dm.sum()) + dz) < 1e-12
+
+    @pytest.mark.parametrize("protocol,queue", [
+        ("reno", "fifo"), ("reno", "red"), ("vegas", "fifo"), ("vegas", "red"),
+    ])
+    def test_full_run_stays_normalized(self, protocol, queue):
+        solver = FluidSolver(
+            protocol=protocol, queue=queue, n_flows=200, duration=20.0
+        )
+        traj = solver.run()
+        assert solver._final_m.sum() + solver._final_z == pytest.approx(1.0, abs=1e-9)
+        assert float(solver._final_m.min()) >= 0.0
+        assert 0.0 <= solver._final_z <= 1.0
+        # The timeout fraction is a fraction at every step, too.
+        assert float(traj["z"].min()) >= 0.0
+        assert float(traj["z"].max()) <= 1.0
+
+
+class TestMonotoneThroughput:
+    def test_throughput_decreases_in_forced_loss(self):
+        """With the queue coupling bypassed (loss_override) and the link
+        uncongested, higher loss probability must mean lower mean
+        windows and strictly less throughput -- the fluid analogue of
+        the Mathis square-root law's direction."""
+        throughputs = []
+        for p in (0.02, 0.05, 0.1, 0.2):
+            solver = FluidSolver(
+                protocol="reno", queue="fifo", n_flows=20,
+                duration=60.0, warmup=10.0, loss_override=p,
+            )
+            summary = solver.summarize(solver.run(), 0.404)
+            throughputs.append(summary["throughput_pps"])
+        assert all(
+            earlier > later
+            for earlier, later in zip(throughputs, throughputs[1:])
+        ), f"throughput not monotone in loss: {throughputs}"
+
+
+class TestVegasFixedPoint:
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        # 25 effectively backlogged Vegas flows: fair rate 15 pps each,
+        # equilibrium backlog between alpha and beta packets per flow.
+        solver = FluidSolver(
+            protocol="vegas", queue="fifo", n_flows=25,
+            per_flow_rate=100.0, duration=120.0, warmup=60.0,
+        )
+        return solver, solver.run()
+
+    def test_queue_parks_in_closed_form_band(self, trajectory):
+        solver, traj = trajectory
+        steady = traj["q"][traj["t"] >= solver.warmup]
+        q_lo, q_hi = vegas_equilibrium_queue(25, alpha=1.0, beta=3.0)
+        assert q_lo - 2.0 <= float(steady.mean()) <= min(q_hi, solver.B) + 2.0
+
+    def test_window_matches_closed_form_band(self, trajectory):
+        solver, traj = trajectory
+        steady = traj["w"][traj["t"] >= solver.warmup]
+        fair_rate = solver.C / 25
+        w_lo, w_hi = vegas_equilibrium_window(
+            fair_rate, solver.rtt_prop, alpha=1.0, beta=3.0
+        )
+        assert w_lo - 0.5 <= float(steady.mean()) <= w_hi + 0.5
+
+    def test_equilibrium_is_nearly_lossless(self, trajectory):
+        solver, traj = trajectory
+        steady = traj["p"][traj["t"] >= solver.warmup]
+        assert float(steady.mean()) < 0.04
+
+
+class TestBackendConfig:
+    def test_backend_changes_digest(self):
+        packet = paper_config()
+        fluid = packet.with_(backend="fluid")
+        assert packet.config_digest() != fluid.config_digest()
+
+    def test_schema_version_bumped_for_backend(self):
+        assert CONFIG_SCHEMA_VERSION >= 4
+        assert paper_config().digest_payload()["backend"] == "packet"
+
+    def test_label_marks_fluid_runs(self):
+        assert "fluid" in fluid_config().label
+        assert "fluid" not in paper_config().label
+
+    @pytest.mark.parametrize("overrides", [
+        dict(protocol="udp"),
+        dict(protocol="sack"),
+        dict(queue="drr"),
+        dict(queue="ared"),
+        dict(workload="rpc"),
+        dict(traffic="pareto_onoff"),
+        dict(pacing=True),
+        dict(obs_trace=("cwnd",)),
+        dict(obs_profile=True),
+        dict(backend="analytic"),
+    ])
+    def test_unsupported_fluid_combinations_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            fluid_config(**overrides).validate()
+
+    def test_solver_rejects_unmodeled_protocols(self):
+        with pytest.raises(ValueError):
+            FluidSolver(protocol="sack")
+        with pytest.raises(ValueError):
+            FluidSolver(queue="drr")
+
+
+class TestFluidScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(fluid_config())
+
+    def test_dispatches_to_fluid_backend(self, result):
+        # No per-flow records in the mean-field limit.
+        assert result.per_flow == []
+        assert result.cwnd_traces == {}
+
+    def test_metrics_fields_populated(self, result):
+        metrics = ScenarioMetrics.from_result(result)
+        assert metrics.backend == "fluid"
+        assert 0.0 < metrics.cov < 1.0
+        assert 0.0 < metrics.utilization <= 1.0
+        assert metrics.throughput_pps > 0.0
+        assert 0.0 <= metrics.loss_percent < 100.0
+        assert 0.0 <= metrics.mean_queue_length <= 50.0
+        assert metrics.perf_events_executed > 0  # RK4 steps
+        assert math.isnan(metrics.fairness)
+
+    def test_bin_counts_cover_measurement_window(self, result):
+        config = result.config
+        expected = int(
+            (config.duration - config.warmup) / config.effective_bin_width
+        )
+        assert result.bin_counts.size == expected
+
+    def test_deterministic(self, result):
+        again = ScenarioMetrics.from_result(run_scenario(fluid_config()))
+        assert again == ScenarioMetrics.from_result(result)
+
+    def test_run_fluid_scenario_direct_entry(self):
+        direct = run_fluid_scenario(fluid_config())
+        via_dispatch = run_scenario(fluid_config())
+        assert ScenarioMetrics.from_result(direct) == ScenarioMetrics.from_result(
+            via_dispatch
+        )
+
+    def test_metrics_roundtrip_keeps_backend(self, result):
+        metrics = ScenarioMetrics.from_result(result)
+        assert ScenarioMetrics.from_dict(metrics.as_dict()).backend == "fluid"
+
+    def test_old_records_default_to_packet(self):
+        record = ScenarioMetrics.from_dict(
+            {
+                "protocol": "reno", "queue": "fifo", "label": "Reno",
+                "n_clients": 20, "seed": 1, "duration": 200.0,
+                "cov": 0.1, "offered_cov": 0.1, "analytic_cov": 0.1,
+                "throughput_packets": 1, "throughput_pps": 1.0,
+                "utilization": 0.5, "loss_percent": 0.0,
+                "gateway_arrivals": 1, "gateway_drops": 0, "timeouts": 0,
+                "fast_retransmits": 0, "dupacks": 0,
+                "timeout_dupack_ratio": 0.0, "timeout_fastrtx_ratio": 0.0,
+                "mean_queue_length": 0.0, "red_marks": 0, "fairness": 1.0,
+                "mean_latency": 0.0, "max_latency": 0.0,
+            }
+        )
+        assert record.backend == "packet"
+
+
+class TestSchedulingIntegration:
+    def test_fluid_cell_units_independent_of_n(self):
+        small = fluid_config(n_clients=50)
+        huge = fluid_config(n_clients=1_000_000)
+        assert cell_units(small) == cell_units(huge)
+        # ... unlike packet cells, which scale linearly in N.
+        assert cell_units(paper_config(n_clients=100)) == pytest.approx(
+            2.0 * cell_units(paper_config(n_clients=50))
+        )
+
+    def test_lane_separates_backends(self):
+        packet = paper_config()
+        fluid = packet.with_(backend="fluid")
+        assert CostModel.lane(packet) != CostModel.lane(fluid)
+
+    def test_cost_model_learns_separate_alphas(self):
+        model = CostModel()
+        # A packet cell: 200 sim-seconds x 20 clients in 40 wall-s.
+        model.observe(paper_config(), 40.0)
+        # A fluid cell at huge N: 200 sim-seconds in 0.5 wall-s.
+        model.observe(fluid_config(duration=200.0, n_clients=500_000), 0.5)
+        packet_estimate = model.estimate(paper_config())
+        fluid_estimate = model.estimate(
+            fluid_config(duration=200.0, n_clients=500_000)
+        )
+        assert packet_estimate == pytest.approx(40.0)
+        assert fluid_estimate == pytest.approx(0.5)
+
+    def test_runlog_records_backend(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLog(path=path) as log:
+            log.sweep_start(total=2, workers=1)
+            log.task_start(0, "d0", "Reno", 0, backend="packet")
+            log.task_done(0, "d0", elapsed=1.5, backend="packet")
+            log.task_start(1, "d1", "Reno~fluid", 0, backend="fluid")
+            log.task_done(1, "d1", elapsed=0.3, backend="fluid")
+            log.sweep_end()
+        from repro.experiments.runlog import read_runlog
+
+        events = read_runlog(path)
+        starts = [e for e in events if e["event"] == "task_start"]
+        assert [e["backend"] for e in starts] == ["packet", "fluid"]
+        summary = summarize_runlog(events)
+        assert summary["backends"]["packet"]["cells"] == 1
+        assert summary["backends"]["fluid"]["cells"] == 1
+        assert summary["backends"]["fluid"]["busy"] == pytest.approx(0.3)

@@ -92,16 +92,22 @@ class TestFailureMatrix:
         """One hanging cell is killed at its deadline while the other
         worker keeps draining; under the pool, exactly one respawn."""
         hang = tiny(seed=99, n_clients=2, duration=500.0)  # biggest estimate
-        normal = [tiny(seed=s, n_clients=20, duration=10.0) for s in range(1, 13)]
+        normal = [tiny(seed=s, n_clients=20, duration=10.0) for s in range(1, 25)]
         path = str(tmp_path / "run.jsonl")
         with RunLog(path) as log:
+            # Deadline calibration: a normal cell takes ~0.2 s alone but
+            # two workers timeslicing one loaded CI core can push it
+            # well past that, so the deadline needs contention headroom;
+            # it must also fire while normal cells are still queued
+            # (~0.2 s x 24 cells ~ 4+ s of drain) or the pool has
+            # nothing left to prove the respawned worker works on.
             runner = SweepRunner(
-                processes=2, timeout=1.0, retries=0, task=_hang_on_seed_99,
+                processes=2, timeout=2.0, retries=0, task=_hang_on_seed_99,
                 pool=pool, run_log=log, heartbeat=0.1,
             )
             results = runner.run([hang] + normal)
         assert results[0].failed
-        assert "timeout after 1" in results[0].error
+        assert "timeout after 2" in results[0].error
         assert all(not m.failed for m in results[1:])
         events = read_runlog(path)
         if pool == "persistent":
