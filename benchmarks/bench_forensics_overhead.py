@@ -1,0 +1,180 @@
+"""A/B benchmark of the burst-forensics disabled-path cost.
+
+The forensics layer promises that a run nobody is diagnosing pays
+(almost) nothing: when ``forensics`` is off, no probe attaches to the
+queue hooks and the only new code on any hot path is one
+``is not None`` guard in ``TcpSender.note_state`` (a per-state-transition
+call, not a per-packet one).
+
+This bench keeps that promise honest.  The control resurrects the
+pre-forensics ``note_state`` (obs publishing only, no forensics guard)
+by patching it onto the class for the control runs; both sides then
+run the identical seeded scenario, timed interleaved with the same
+paired min/median statistics as ``bench_obs_overhead.py``, and the
+relative overhead of the disabled path must stay under
+``REPRO_BENCH_OVERHEAD_LIMIT`` percent (default 2).
+
+The enabled path is also measured, as information rather than a gate:
+attribution is opt-in and its accountants are its honest price.
+
+Set ``REPRO_BENCH_FORENSICS_JSON`` to a path to dump the measurements
+as JSON (CI uploads this as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict
+
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import run_scenario
+from repro.transport.tcp_base import TcpSender
+
+
+def overhead_limit_percent() -> float:
+    return float(os.environ.get("REPRO_BENCH_OVERHEAD_LIMIT", "2.0"))
+
+
+def _control_note_state(self, state: str) -> None:
+    """The pre-forensics ``note_state``: obs publishing only."""
+    obs = self.obs
+    if obs is not None:
+        obs.on_state(self.sim.now, state)
+
+
+def _config(**overrides: Any):
+    # Sized to ~100 ms per run so a millisecond of scheduler theft
+    # cannot masquerade as percents; congested enough (16 clients on
+    # the 3 Mbps bottleneck) that state transitions actually fire.
+    return paper_config(n_clients=16, duration=8.0, seed=3, **overrides)
+
+
+def _run_disabled() -> None:
+    run_scenario(_config())
+
+
+def _run_control() -> None:
+    original = TcpSender.note_state
+    TcpSender.note_state = _control_note_state
+    try:
+        run_scenario(_config())
+    finally:
+        TcpSender.note_state = original
+
+
+def _run_enabled() -> None:
+    run_scenario(_config(forensics=True))
+
+
+# ----------------------------------------------------------------------
+# Measurement (same paired statistics as bench_obs_overhead)
+# ----------------------------------------------------------------------
+def _measure_overhead(
+    control: Callable[[], None],
+    candidate: Callable[[], None],
+    repeats: int = 7,
+) -> Dict[str, float]:
+    """Paired overhead estimate, robust to machine jitter.
+
+    Each repeat times control and candidate back to back (order
+    alternating); the reported overhead is the smaller of the median
+    per-pair ratio and the ratio of per-side minima -- interference on
+    a shared runner inflates, never deflates, a measurement, so the
+    smaller statistic is the honest upper bound on the true overhead.
+    """
+    clock = time.perf_counter
+    control()  # warm both paths before timing
+    candidate()
+    ratios = []
+    control_best = candidate_best = float("inf")
+    for i in range(repeats):
+        thunks = [(control, True), (candidate, False)]
+        if i % 2:
+            thunks.reverse()
+        times = {}
+        for thunk, is_control in thunks:
+            start = clock()
+            thunk()
+            times[is_control] = clock() - start
+        control_best = min(control_best, times[True])
+        candidate_best = min(candidate_best, times[False])
+        ratios.append(times[False] / times[True])
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    best_ratio = candidate_best / control_best
+    return {
+        "control_s": control_best,
+        "candidate_s": candidate_best,
+        "repeats": repeats,
+        "overhead_percent": 100.0 * (min(median_ratio, best_ratio) - 1.0),
+    }
+
+
+def measure_with_retries(
+    control: Callable[[], None],
+    candidate: Callable[[], None],
+    attempts: int = 3,
+) -> Dict[str, float]:
+    """Repeat :func:`_measure_overhead` until it clears the limit.
+
+    The overhead under test is a property of the code, not the weather
+    on the runner; any attempt that lands under the limit demonstrates
+    it, and retries only run after a failed gate, so they cannot hide
+    a real regression -- that fails all attempts.
+    """
+    best: Dict[str, float] = {}
+    for attempt in range(attempts):
+        stats = _measure_overhead(control, candidate)
+        if not best or stats["overhead_percent"] < best["overhead_percent"]:
+            best = stats
+        if best["overhead_percent"] < overhead_limit_percent():
+            break
+    best["attempts"] = attempt + 1
+    return best
+
+
+def _report(name: str, data: Dict[str, Any]) -> None:
+    """Merge one measurement into the JSON report, if one was asked for."""
+    path = os.environ.get("REPRO_BENCH_FORENSICS_JSON")
+    if not path:
+        return
+    payload: Dict[str, Any] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload[name] = data
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# The gate: disabled forensics must be (nearly) free
+# ----------------------------------------------------------------------
+def test_disabled_overhead_scenario():
+    stats = measure_with_retries(_run_control, _run_disabled)
+    _report("disabled/scenario", stats)
+    print(
+        f"\nscenario: control {stats['control_s'] * 1e3:.2f} ms, "
+        f"disabled {stats['candidate_s'] * 1e3:.2f} ms, "
+        f"overhead {stats['overhead_percent']:+.2f}%"
+    )
+    assert stats["overhead_percent"] < overhead_limit_percent()
+
+
+# ----------------------------------------------------------------------
+# Information: what attribution costs when you ask for it
+# ----------------------------------------------------------------------
+def test_enabled_overhead_scenario():
+    stats = _measure_overhead(_run_disabled, _run_enabled, repeats=5)
+    _report("enabled/scenario", stats)
+    print(
+        f"\nenabled scenario: disabled {stats['control_s'] * 1e3:.2f} ms, "
+        f"enabled {stats['candidate_s'] * 1e3:.2f} ms, "
+        f"overhead {stats['overhead_percent']:+.1f}%"
+    )
+    # Attribution is opt-in; this documents the cost rather than gating
+    # it, but two dict updates per admitted packet should stay cheap.
+    assert stats["overhead_percent"] < 100.0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Burst forensics: which flows caused *this* burst, and why.
+
+The paper's headline number (the c.o.v. of the gateway queue) says the
+queue is bursty; it cannot say which flows filled it, or whether a
+burst followed the classic droptail failure mode -- a loss wave that
+synchronizes many windows, then a synchronized ramp-up that slams the
+queue.  The forensics layer answers both, per episode: it segments the
+queue-occupancy series into burst episodes, ranks each episode's top
+contributing flows (an exact per-packet accountant cross-validated
+against a bounded-memory space-saving sketch, the variant a real switch
+could afford), and links each burst to the loss-synchronization event
+that explains it.
+
+Forty Reno clients congest the 3 Mbps droptail bottleneck; every burst
+traces back to a synchronization wave.  The same scenario through a RED
+gateway with an adequately provisioned physical buffer (so early drops,
+not overflows, do the work) shows the paper's smoothing claim
+per-episode: fewer bursts, and fewer of them sync-linked.
+
+Run:  python examples/burst_forensics.py
+"""
+
+from repro import paper_config, run_scenario
+
+
+def main() -> None:
+    base = paper_config(n_clients=40, duration=16.0, seed=7, forensics=True)
+
+    print(
+        f"{base.n_clients} Reno clients, {base.duration:g}s simulated, "
+        f"droptail buffer {base.buffer_capacity} packets\n"
+    )
+
+    droptail = run_scenario(base)
+    report = droptail.forensics
+    assert report is not None
+    print("=== droptail gateway ===")
+    print(report.render(top=3))
+
+    # Same load through RED, with physical headroom above max_th so the
+    # gateway operates in its early-drop regime instead of overflowing.
+    red = run_scenario(base.with_(queue="red", buffer_capacity=100))
+    red_report = red.forensics
+    assert red_report is not None
+    print()
+    print("=== RED gateway (buffer 100) ===")
+    print(red_report.render(top=3))
+
+    print()
+    print(
+        f"droptail: {report.n_sync_linked}/{report.n_bursts} bursts "
+        f"sync-linked, {100 * report.burst_time_fraction:.0f}% of the run "
+        f"inside a burst\n"
+        f"RED:      {red_report.n_sync_linked}/{red_report.n_bursts} bursts "
+        f"sync-linked, {100 * red_report.burst_time_fraction:.0f}% of the "
+        f"run inside a burst"
+    )
+    print(
+        "Every droptail burst traces back to a synchronization wave; RED "
+        "decorrelates\nthe losses, so the queue spikes less often and its "
+        "bursts are no longer the\nsynchronized-ramp signature -- the "
+        "paper's smoothing claim, per episode."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,18 @@ an engine profile; ``--trace-file`` streams ns-2 format events at the
 bottleneck.  The ``profile`` subcommand runs one scenario under the
 engine profiler and prints a per-callback-category table
 (``--json PATH`` for machine-readable output).
+
+Burst forensics (see repro.forensics)::
+
+    repro-tcp forensics --clients 40 --duration 50       # who caused it?
+    repro-tcp run --forensics --queue red --clients 40
+
+``forensics`` segments the gateway queue into burst episodes, ranks
+each episode's top-k contributing flows (exact accountant
+cross-validated against a space-saving sketch), links episodes to
+loss-synchronization events, and prints the stacked attribution
+timeline (``--json`` dumps the report payload, ``--obs-dir`` exports
+the per-window series).
 """
 
 from __future__ import annotations
@@ -53,6 +65,7 @@ from repro.experiments.figures import (
     figure3_throughput,
     figure4_loss,
     figure13_timeout_ratio,
+    figure_burst_attribution,
     figure_fluid_cov,
     figure_largen_cov,
     run_fluid_sweep,
@@ -342,6 +355,12 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write an ns-2-format packet trace of the bottleneck queue",
     )
+    group.add_argument(
+        "--forensics",
+        action="store_true",
+        help="run burst forensics (episode segmentation, top-k flow "
+        "attribution, loss-sync linkage) and print the report",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -351,6 +370,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_clients=args.clients,
         obs_trace=tuple(args.trace),
         obs_profile=bool(args.obs_dir),
+        forensics=bool(getattr(args, "forensics", False)),
     )
     if args.obs_dir or args.trace_file:
         # Build the scenario by hand so pre-run attachments (the ns
@@ -379,6 +399,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.app is not None:
         print()
         print(result.app.describe())
+    if result.forensics is not None:
+        print()
+        print(result.forensics.render())
     if args.trace_file:
         print(f"\nwrote {args.trace_file} ({writer.lines_written} trace lines)")
     if args.obs_dir and result.obs is not None:
@@ -419,6 +442,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         payload["peak_rss_kb"] = result.peak_rss_kb
         results_to_json(payload, args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Run one scenario under burst forensics and print the report."""
+    overrides = {"forensics": True}
+    if args.top is not None:
+        overrides["forensics_top_k"] = args.top
+    if args.window is not None:
+        overrides["forensics_window"] = args.window
+    if args.sketch is not None:
+        overrides["forensics_sketch_capacity"] = args.sketch
+    config = _base_config(args).with_(
+        protocol=args.protocol,
+        queue=args.queue,
+        n_clients=args.clients,
+        **overrides,
+    )
+    result = run_scenario(config)
+    report = result.forensics
+    assert report is not None  # forensics=True guarantees it
+    print(
+        f"Scenario: {config.label}, {config.n_clients} clients, "
+        f"{config.duration:g}s simulated"
+    )
+    print()
+    print(report.render())
+    figure = figure_burst_attribution(report)
+    if figure.series:
+        print()
+        print(figure.render_plot())
+    if args.obs_dir and result.obs is not None:
+        for path in result.obs.export(args.obs_dir, fmt=args.obs_format):
+            print(f"wrote {path}")
+    if args.json:
+        results_to_json(report.as_dict(), args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        results_to_csv(figure.to_rows(), args.csv)
+        print(f"\nwrote {args.csv}")
     return 0
 
 
@@ -699,6 +762,47 @@ def build_parser() -> argparse.ArgumentParser:
     dependence_parser.add_argument("--clients", type=int, default=40)
     _add_common(dependence_parser)
 
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="burst forensics: episode segmentation, top-k flow "
+        "attribution, loss-synchronization linkage",
+    )
+    forensics_parser.add_argument("--protocol", default="reno")
+    forensics_parser.add_argument("--queue", default="fifo")
+    forensics_parser.add_argument("--clients", type=int, default=40)
+    forensics_parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="culprits ranked per burst (default 5)",
+    )
+    forensics_parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="attribution window width, s (default: one round-trip "
+        "propagation delay)",
+    )
+    forensics_parser.add_argument(
+        "--sketch",
+        type=int,
+        default=None,
+        help="space-saving counters per window (default: 4 x top-k)",
+    )
+    forensics_parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="export the forensic series + report into this directory",
+    )
+    forensics_parser.add_argument(
+        "--obs-format",
+        choices=["jsonl", "csv"],
+        default="jsonl",
+        help="series export format (default jsonl)",
+    )
+    _add_common(forensics_parser)
+
     sweeplog_parser = sub.add_parser(
         "sweeplog",
         help="summarize a sweep run log (makespan, worker utilization)",
@@ -728,6 +832,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "all": _cmd_all,
         "replicate": _cmd_replicate,
         "dependence": _cmd_dependence,
+        "forensics": _cmd_forensics,
         "sweeplog": _cmd_sweeplog,
     }
     return handlers[args.command](args)

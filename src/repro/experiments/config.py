@@ -38,6 +38,18 @@ _DIGEST_EXCLUDED_FIELDS = frozenset(
         "obs_trace",
         "obs_profile",
         "obs_queue_sample_interval",
+        # Burst forensics (repro.forensics): pure observers fed from the
+        # gateway's hooks and the senders' state transitions, so the
+        # knobs can never change a physics-derived metric (the
+        # forensic_* ScenarioMetrics fields are diagnostic bookkeeping,
+        # like the obs_* sample counts).
+        "forensics",
+        "forensics_window",
+        "forensics_top_k",
+        "forensics_sketch_capacity",
+        "forensics_burst_enter",
+        "forensics_burst_exit",
+        "forensics_sync_fraction",
         # The engine scheduler is an implementation choice, not physics:
         # both schedulers execute the exact same event sequence
         # (tests/test_engine_differential.py), so results cached under
@@ -179,6 +191,29 @@ class ScenarioConfig:
     obs_profile: bool = False
     obs_queue_sample_interval: float = 0.0
 
+    # Burst forensics (see repro.forensics): segment the gateway queue
+    # into burst episodes, attribute each to its top-k contributing
+    # flows (exact accountant cross-validated against a space-saving
+    # sketch), and link episodes to loss-synchronization events.
+    # Observation-only, like the obs_* knobs above.  ``forensics_window``
+    # is the attribution window width in seconds (0 = one round-trip
+    # propagation delay, the paper's binning);
+    # ``forensics_sketch_capacity`` is the sketch's counter budget
+    # (0 = 4 x top_k); the burst enter/exit thresholds are fractions of
+    # the buffer capacity (hysteresis: exit below enter); the sync
+    # fraction is the quorum of flows that must halve cwnd within one
+    # RTT to count as a synchronization event (a quarter of the
+    # population cutting together is already an unambiguous wave --
+    # demanding a strict majority misses waves that synchronize most
+    # but not all flows).
+    forensics: bool = False
+    forensics_window: float = 0.0
+    forensics_top_k: int = 5
+    forensics_sketch_capacity: int = 0
+    forensics_burst_enter: float = 0.6
+    forensics_burst_exit: float = 0.3
+    forensics_sync_fraction: float = 0.25
+
     # Engine scheduler: "heap" (the reference binary heap) or "wheel"
     # (the large-N timer-wheel fast path).  Digest-excluded: both pop
     # events in the exact same order, so every ScenarioMetrics value is
@@ -306,6 +341,11 @@ class ScenarioConfig:
                     "the fluid backend has no flight recorder; disable "
                     "obs_trace/obs_profile"
                 )
+            if self.forensics:
+                raise ValueError(
+                    "the fluid backend has no per-flow packets; "
+                    "burst forensics requires the packet backend"
+                )
         if self.n_clients < 1:
             raise ValueError("need at least one client")
         if self.duration <= 0:
@@ -346,6 +386,20 @@ class ScenarioConfig:
             )
         if self.obs_queue_sample_interval < 0:
             raise ValueError("obs_queue_sample_interval must be non-negative")
+        if self.forensics_window < 0:
+            raise ValueError("forensics_window must be non-negative")
+        if self.forensics_top_k < 1:
+            raise ValueError("forensics_top_k must be at least 1")
+        if self.forensics_sketch_capacity < 0:
+            raise ValueError("forensics_sketch_capacity must be non-negative")
+        if not 0 < self.forensics_burst_enter <= 1:
+            raise ValueError("forensics_burst_enter must lie in (0, 1]")
+        if not 0 <= self.forensics_burst_exit < self.forensics_burst_enter:
+            raise ValueError(
+                "forensics_burst_exit must lie in [0, forensics_burst_enter)"
+            )
+        if not 0 < self.forensics_sync_fraction <= 1:
+            raise ValueError("forensics_sync_fraction must lie in (0, 1]")
         from repro.sim.engine import SCHEDULERS
 
         if self.scheduler not in SCHEDULERS:

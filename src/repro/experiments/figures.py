@@ -9,7 +9,18 @@ single runs with tracing enabled (:func:`cwnd_trace_experiment`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.forensics.report import ForensicsReport
 
 from repro.analysis.asciiplot import ascii_series_plot
 from repro.analysis.tables import format_table
@@ -417,3 +428,48 @@ def cwnd_trace_experiment(
     if duration is not None:
         config = config.with_(duration=duration)
     return run_scenario(config)
+
+
+def figure_burst_attribution(
+    report: "ForensicsReport", k: int = 3
+) -> FigureData:
+    """Stacked top-k attribution timeline from a forensics report.
+
+    One point per attribution window.  The flow series are *cumulative*
+    (flow a; a+b; a+b+c ...), so the vertical gap between consecutive
+    curves is that flow's bytes in the window and the gap up to the
+    ``all flows`` curve is everybody else's -- the ASCII rendering of a
+    stacked area chart.  Flows are the run's overall top-k by exact
+    bytes, heaviest first.
+    """
+    figure = FigureData(
+        figure_id="figF",
+        title="burst forensics: stacked top-k flow attribution",
+        xlabel="time (s)",
+        ylabel="bytes per window",
+    )
+    windows = report.exact.windows()
+    if not windows:
+        return figure
+    totals: Dict[int, int] = {}
+    for index in windows:
+        for flow, entry in report.exact.window_counts(index).items():
+            totals[flow] = totals.get(flow, 0) + entry[1]
+    top_flows = [
+        flow
+        for flow, _ in sorted(totals.items(), key=lambda i: (-i[1], i[0]))[:k]
+    ]
+    xs = [report.exact.window_start(index) for index in windows]
+    stack = [0.0] * len(windows)
+    for depth, flow in enumerate(top_flows):
+        for pos, index in enumerate(windows):
+            entry = report.exact.window_counts(index).get(flow)
+            stack[pos] += entry[1] if entry else 0
+        name = "+".join(f"flow{f}" for f in top_flows[: depth + 1])
+        figure.add_series(name, xs, list(stack))
+    figure.add_series(
+        "all flows",
+        xs,
+        [float(report.exact.window_total_bytes(index)) for index in windows],
+    )
+    return figure

@@ -102,6 +102,15 @@ class ScenarioMetrics:
     obs_queue_samples: int = 0
     obs_drop_events: int = 0
     obs_state_transitions: int = 0
+    # Burst-forensics summary (see repro.forensics); defaults cover
+    # runs without forensics enabled and records from older versions.
+    forensic_bursts: int = 0
+    forensic_sync_events: int = 0
+    forensic_sync_linked: int = 0
+    forensic_burst_time_fraction: float = float("nan")
+    forensic_precision_at_k: float = float("nan")
+    forensic_top_flow: int = -1
+    forensic_top_flow_share: float = float("nan")
     error: str = ""
 
     def __eq__(self, other: object) -> bool:
@@ -179,6 +188,18 @@ class ScenarioMetrics:
                 "obs_drop_events": obs.n_drop_events,
                 "obs_state_transitions": obs.n_state_transitions,
             }
+        forensic_kwargs: Dict[str, Any] = {}
+        if result.forensics is not None:
+            report = result.forensics
+            forensic_kwargs = {
+                "forensic_bursts": report.n_bursts,
+                "forensic_sync_events": report.n_sync_events,
+                "forensic_sync_linked": report.n_sync_linked,
+                "forensic_burst_time_fraction": report.burst_time_fraction,
+                "forensic_precision_at_k": report.precision,
+                "forensic_top_flow": report.top_flow,
+                "forensic_top_flow_share": report.top_flow_share,
+            }
         wall = result.wall_time
         events_per_sec = (
             result.events_executed / wall if wall and wall > 0 else float("nan")
@@ -220,6 +241,7 @@ class ScenarioMetrics:
             perf_peak_rss_kb=result.peak_rss_kb,
             **obs_kwargs,
             **app_kwargs,
+            **forensic_kwargs,
         )
 
     @classmethod

@@ -292,9 +292,11 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Fold an event stream into a sweep execution summary.
 
     Returns totals, makespan, worker utilization, the scheduling lane,
-    per-worker busy time / cell counts, respawns, and the slowest
-    cells — everything needed to audit a sweep's makespan from its
-    JSONL log alone (``repro-tcp sweeplog``).  A killed run (no
+    per-worker busy time / cell counts, a per-backend breakdown
+    (cells, busy/mean/max seconds, failures -- failures attribute via
+    the backend tag their ``task_start`` carried), respawns, and the
+    slowest cells — everything needed to audit a sweep's makespan from
+    its JSONL log alone (``repro-tcp sweeplog``).  A killed run (no
     ``sweep_end``) still summarizes from the per-task events; makespan
     then falls back to the span of observed timestamps.
     """
@@ -319,15 +321,26 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     }
     per_worker: Dict[Any, Dict[str, float]] = {}
     done_cells: List[Dict[str, Any]] = []
+    # index -> backend, learned from task_start/task_done tags so
+    # task_failed events (which carry no backend) still attribute.
+    cell_backend: Dict[Any, str] = {}
     t_first: Optional[float] = None
     t_last: Optional[float] = None
     saw_end = False
+
+    def backend_stats(backend: str) -> Dict[str, Any]:
+        return summary["backends"].setdefault(
+            backend, {"cells": 0, "busy": 0.0, "max": 0.0, "failed": 0}
+        )
+
     for event in events:
         kind = event.get("event")
         t = event.get("t")
         if isinstance(t, (int, float)):
             t_first = t if t_first is None else min(t_first, t)
             t_last = t if t_last is None else max(t_last, t)
+        if kind in ("task_start", "task_done") and event.get("backend"):
+            cell_backend[event.get("index")] = event["backend"]
         if kind == "sweep_start":
             summary["sweeps"] += 1
             summary["total"] += int(event.get("total") or 0)
@@ -347,11 +360,10 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
                 summary["lanes"][lane] = summary["lanes"].get(lane, 0) + 1
             backend = event.get("backend", "")
             if backend:
-                backend_stats = summary["backends"].setdefault(
-                    backend, {"cells": 0, "busy": 0.0}
-                )
-                backend_stats["cells"] += 1
-                backend_stats["busy"] += elapsed
+                stats = backend_stats(backend)
+                stats["cells"] += 1
+                stats["busy"] += elapsed
+                stats["max"] = max(stats["max"], elapsed)
             worker = event.get("worker")
             stats = per_worker.setdefault(
                 worker, {"cells": 0, "busy": 0.0}
@@ -363,6 +375,9 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             summary["cached"] += 1
         elif kind == "task_failed":
             summary["failed"] += 1
+            backend = cell_backend.get(event.get("index"), "")
+            if backend:
+                backend_stats(backend)["failed"] += 1
         elif kind == "task_retry":
             summary["retried"] += 1
         elif kind == "worker_respawn":
@@ -376,6 +391,8 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         summary["utilization"] = summary["busy"] / (
             summary["makespan"] * summary["workers"]
         )
+    for stats in summary["backends"].values():
+        stats["mean"] = stats["busy"] / stats["cells"] if stats["cells"] else 0.0
     summary["per_worker"] = per_worker
     summary["slowest"] = sorted(
         done_cells, key=lambda e: float(e.get("elapsed") or 0.0), reverse=True
@@ -413,11 +430,25 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
         f"respawned={summary['respawned']}"
     )
     if summary["backends"]:
-        parts = [
-            f"{backend}: {stats['cells']} cells, {stats['busy']:.3f}s busy"
+        rows = [
+            [
+                backend,
+                int(stats["cells"]),
+                round(stats["busy"], 3),
+                round(stats.get("mean", 0.0), 3),
+                round(stats.get("max", 0.0), 3),
+                int(stats.get("failed", 0)),
+            ]
             for backend, stats in sorted(summary["backends"].items())
         ]
-        lines.append("backends: " + "; ".join(parts))
+        lines.append("")
+        lines.append(
+            format_table(
+                ["backend", "cells", "busy s", "mean s", "max s", "failed"],
+                rows,
+                title="Per-backend breakdown",
+            )
+        )
     if summary["per_worker"]:
         rows = [
             [
@@ -441,6 +472,7 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
             [
                 event.get("index", "-"),
                 str(event.get("digest", ""))[:12],
+                event.get("backend", "") or "-",
                 round(float(event.get("elapsed") or 0.0), 3),
                 event.get("attempt", 0),
             ]
@@ -449,7 +481,7 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
         lines.append("")
         lines.append(
             format_table(
-                ["cell", "digest", "elapsed s", "attempt"],
+                ["cell", "digest", "backend", "elapsed s", "attempt"],
                 rows,
                 title="Slowest cells",
             )

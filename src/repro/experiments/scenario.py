@@ -32,6 +32,8 @@ from repro.core.dependence import (
     bin_flow_times,
     dependence_report,
 )
+from repro.forensics.probe import ForensicsParams, ForensicsProbe
+from repro.forensics.report import ForensicsReport
 from repro.net.monitor import ArrivalMonitor, FlowArrivalMonitor
 from repro.net.fq import DRRQueue
 from repro.obs.bundle import ObsBundle
@@ -128,6 +130,9 @@ class ScenarioResult:
     wall_time: float = field(default=float("nan"))
     peak_rss_kb: float = field(default=float("nan"))
     obs: Optional[ObsBundle] = None
+    # Burst forensics report (see repro.forensics); populated when the
+    # config enabled ``forensics``.
+    forensics: Optional[ForensicsReport] = None
 
     def dependence(self) -> Optional[DependenceReport]:
         """Cross-stream dependence diagnostics (requires the scenario to
@@ -228,6 +233,15 @@ class Scenario:
                 self.registry,
                 self.network.bottleneck_queue,
                 sample_interval=config.obs_queue_sample_interval,
+            )
+        # Burst forensics: one probe on the gateway queue, also handed
+        # to every TCP sender (in _build_flows) for cwnd-cut events.
+        self.forensics_probe: Optional[ForensicsProbe] = None
+        if config.forensics:
+            self.forensics_probe = ForensicsProbe(
+                ForensicsParams.from_config(config),
+                n_flows=config.n_clients,
+                queue=self.network.bottleneck_queue,
             )
         self._build_flows()
         # Packet free-listing: after each executed event, packets that
@@ -341,6 +355,8 @@ class Scenario:
                     self.flow_probes[index] = sender.attach_probe(
                         FlowProbe(registry, index)
                     )
+                if self.forensics_probe is not None:
+                    sender.forensics = self.forensics_probe
             if config.workload == "open":
                 source = self._make_source(index, sender)
                 if self.offered_recorder is not None:
@@ -447,6 +463,7 @@ class Scenario:
             not self.flow_probes
             and self.queue_probe is None
             and self.profiler is None
+            and self.forensics_probe is None
         ):
             return None
         return ObsBundle(
@@ -457,6 +474,11 @@ class Scenario:
             flows=dict(self.flow_probes),
             queue=self.queue_probe,
             registry=self.registry,
+            forensics=(
+                self.forensics_probe.finalize(self.config.duration)
+                if self.forensics_probe is not None
+                else None
+            ),
         )
 
     def _collect(self, wall_time: float = float("nan")) -> ScenarioResult:
@@ -589,6 +611,11 @@ class Scenario:
             wall_time=wall_time,
             peak_rss_kb=peak_rss_kb(),
             obs=self.obs_bundle(),
+            forensics=(
+                self.forensics_probe.finalize(duration)
+                if self.forensics_probe is not None
+                else None
+            ),
         )
 
 

@@ -1,0 +1,168 @@
+"""The live forensics probe a :class:`~repro.experiments.scenario.Scenario` attaches.
+
+One object owns all three detectors and feeds them from two sources:
+
+* the bottleneck queue's enqueue/dequeue/drop hooks (occupancy samples,
+  per-packet attribution charges, episode drop counts);
+* each TCP sender's :meth:`note_state` transitions, forwarded when the
+  state is a multiplicative window cut (:data:`LOSS_STATES`).
+
+Everything is observation-only: the probe never mutates a packet, a
+queue decision, or a sender, so enabling forensics cannot change any
+physics-derived metric (the config knobs are digest-excluded for the
+same reason the obs knobs are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.forensics.bursts import BurstDetector
+from repro.forensics.report import ForensicsReport, build_attributions
+from repro.forensics.sync import LossSyncDetector
+from repro.forensics.windows import SketchWindowAccountant, WindowAccountant
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ScenarioConfig
+    from repro.net.packet import Packet
+    from repro.net.queues import PacketQueue
+
+#: ``note_state`` values that are multiplicative window cuts: these are
+#: what the loss-synchronization detector counts.  (Recovery exits,
+#: partial ACKs and slow-start exits are transitions, not cuts.)
+LOSS_STATES = frozenset({"timeout", "fast_retransmit", "ecn_cut"})
+
+
+@dataclass(frozen=True)
+class ForensicsParams:
+    """Resolved (absolute-units) forensics knobs."""
+
+    window: float  # attribution window width, seconds
+    top_k: int  # culprits ranked per window/burst
+    sketch_capacity: int  # space-saving counters per window
+    burst_enter: int  # occupancy (packets) opening a burst
+    burst_exit: int  # occupancy closing it (hysteresis)
+    sync_window: float  # "within one RTT", seconds
+    sync_fraction: float  # quorum as a fraction of flows
+    sync_lookback: float = 5.0  # preceding-sync search span, seconds
+    sync_horizon: float = 2.0  # triggered-sync slack past burst end
+
+    @classmethod
+    def from_config(cls, config: "ScenarioConfig") -> "ForensicsParams":
+        """Resolve the fractional ScenarioConfig knobs to packet units.
+
+        Defaults: the attribution and sync windows are one round-trip
+        propagation delay (the paper's binning); the sketch gets
+        ``4 * top_k`` counters (comfortably above the space-saving
+        rule of thumb for recovering a top-k).
+        """
+        window = config.forensics_window or config.rtt_prop
+        top_k = config.forensics_top_k
+        capacity = config.forensics_sketch_capacity or 4 * top_k
+        enter = max(
+            1, int(round(config.forensics_burst_enter * config.buffer_capacity))
+        )
+        exit_ = int(round(config.forensics_burst_exit * config.buffer_capacity))
+        exit_ = min(exit_, enter - 1)
+        return cls(
+            window=window,
+            top_k=top_k,
+            sketch_capacity=capacity,
+            burst_enter=enter,
+            burst_exit=max(exit_, 0),
+            sync_window=config.rtt_prop,
+            sync_fraction=config.forensics_sync_fraction,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.window,
+            "top_k": self.top_k,
+            "sketch_capacity": self.sketch_capacity,
+            "burst_enter": self.burst_enter,
+            "burst_exit": self.burst_exit,
+            "sync_window": self.sync_window,
+            "sync_fraction": self.sync_fraction,
+            "sync_lookback": self.sync_lookback,
+            "sync_horizon": self.sync_horizon,
+        }
+
+
+class ForensicsProbe:
+    """Streams one run's gateway events into the three detectors."""
+
+    def __init__(
+        self,
+        params: ForensicsParams,
+        n_flows: int,
+        queue: Optional["PacketQueue"] = None,
+    ) -> None:
+        self.params = params
+        self.n_flows = n_flows
+        self.exact = WindowAccountant(params.window)
+        self.sketch = SketchWindowAccountant(
+            params.window, params.sketch_capacity
+        )
+        self.bursts = BurstDetector(params.burst_enter, params.burst_exit)
+        self.sync = LossSyncDetector(
+            n_flows, params.sync_window, params.sync_fraction
+        )
+        self.queue: Optional["PacketQueue"] = None
+        self._report: Optional[ForensicsReport] = None
+        if queue is not None:
+            self.attach(queue)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, queue: "PacketQueue") -> "ForensicsProbe":
+        """Register on the queue's enqueue/dequeue/drop hooks."""
+        self.queue = queue
+        queue.add_enqueue_hook(self._on_enqueue)
+        queue.add_dequeue_hook(self._on_dequeue)
+        queue.add_drop_hook(self._on_drop)
+        return self
+
+    # ------------------------------------------------------------------
+    # Hook bodies
+    # ------------------------------------------------------------------
+    def _on_enqueue(self, packet: "Packet", now: float) -> None:
+        self.exact.record(packet.flow_id, now, packet.size)
+        self.sketch.record(packet.flow_id, now, packet.size)
+        self.bursts.on_sample(now, len(self.queue))
+
+    def _on_dequeue(self, packet: "Packet", now: float) -> None:
+        self.bursts.on_sample(now, len(self.queue))
+
+    def _on_drop(self, packet: "Packet", now: float) -> None:
+        self.bursts.on_drop(now, self.queue.last_drop_cause)
+
+    def on_flow_state(self, flow_id: int, now: float, state: str) -> None:
+        """A sender's ``note_state`` transition (all states forwarded;
+        only multiplicative cuts are counted)."""
+        if state in LOSS_STATES:
+            self.sync.on_loss(flow_id, now)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finalize(self, end_time: float) -> ForensicsReport:
+        """Close open episodes and assemble the report (idempotent)."""
+        if self._report is not None:
+            return self._report
+        episodes = self.bursts.finalize(end_time)
+        syncs = self.sync.finalize()
+        attributions = build_attributions(
+            episodes, syncs, self.exact, self.sketch, self.params
+        )
+        self._report = ForensicsReport(
+            params=self.params,
+            n_flows=self.n_flows,
+            duration=end_time,
+            bursts=attributions,
+            sync_events=syncs,
+            exact=self.exact,
+            sketch=self.sketch,
+        )
+        return self._report

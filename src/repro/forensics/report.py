@@ -1,0 +1,399 @@
+"""The forensics report a finished run carries out of the simulator.
+
+Per burst episode: the exact and sketch top-k culprit rankings over the
+windows the burst spans, the tie-tolerant precision of the sketch
+ranking against the exact one, and the loss-sync linkage (which
+synchronization event preceded or was triggered by this burst).  The
+report renders as text tables, exports through
+:meth:`~repro.obs.bundle.ObsBundle.export` as JSONL/CSV series, and
+flattens into the ``forensic_*`` fields of
+:class:`~repro.experiments.results.ScenarioMetrics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.forensics.bursts import BurstEpisode
+from repro.forensics.sync import SyncEvent, link_bursts
+from repro.forensics.windows import (
+    FlowShare,
+    SketchWindowAccountant,
+    WindowAccountant,
+    precision_at_k,
+    ranked_shares,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.forensics.probe import ForensicsParams
+    from repro.obs.registry import TimeSeries
+
+
+@dataclass
+class BurstAttribution:
+    """One burst episode with culprits ranked and its sync linkage."""
+
+    episode: BurstEpisode
+    windows: Tuple[int, int]  # first/last window index spanned
+    exact_top: List[FlowShare] = field(default_factory=list)
+    sketch_top: List[FlowShare] = field(default_factory=list)
+    #: mean per-window precision@k over the span's non-empty windows
+    precision: float = float("nan")
+    sync_relation: str = ""  # "preceding" | "triggered" | ""
+    sync_time: float = float("nan")
+    sync_flows: int = 0
+
+    @property
+    def sync_linked(self) -> bool:
+        return bool(self.sync_relation)
+
+    @property
+    def top_flow(self) -> int:
+        return self.exact_top[0].flow_id if self.exact_top else -1
+
+    @property
+    def top_share(self) -> float:
+        return self.exact_top[0].share if self.exact_top else float("nan")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            **self.episode.as_dict(),
+            "windows": list(self.windows),
+            "exact_top": [s.as_dict() for s in self.exact_top],
+            "sketch_top": [s.as_dict() for s in self.sketch_top],
+            "precision": self.precision,
+            "sync_relation": self.sync_relation,
+            "sync_time": self.sync_time,
+            "sync_flows": self.sync_flows,
+        }
+
+
+def build_attributions(
+    episodes: List[BurstEpisode],
+    syncs: List[SyncEvent],
+    exact: WindowAccountant,
+    sketch: SketchWindowAccountant,
+    params: "ForensicsParams",
+) -> List[BurstAttribution]:
+    """Rank culprits over each episode's window span and link syncs.
+
+    The culprit tables rank over the whole span; precision is the mean
+    *per-window* precision@k across the span's non-empty windows, since
+    the per-window ranking is what the bounded-memory sketch actually
+    computes (span merging accumulates eviction floors across windows
+    and would test an artifact of aggregation, not the data structure).
+    """
+    links = link_bursts(
+        episodes, syncs, params.sync_lookback, params.sync_horizon
+    )
+    attributions: List[BurstAttribution] = []
+    for episode, (relation, sync) in zip(episodes, links):
+        first = exact.window_index(episode.start)
+        last = exact.window_index(episode.end)
+        exact_counts = exact.span_counts(first, last)
+        exact_all = ranked_shares(exact_counts)
+        sketch_top = ranked_shares(
+            sketch.span_counts(first, last), params.top_k
+        )
+        window_precisions = [
+            precision_at_k(
+                ranked_shares(exact.window_counts(index)),
+                sketch.top_k(index, params.top_k),
+                params.top_k,
+            )
+            for index in range(first, last + 1)
+            if exact.window_counts(index)
+        ]
+        attributions.append(
+            BurstAttribution(
+                episode=episode,
+                windows=(first, last),
+                exact_top=exact_all[: params.top_k],
+                sketch_top=sketch_top,
+                precision=_mean(window_precisions),
+                sync_relation=relation,
+                sync_time=sync.time if sync is not None else float("nan"),
+                sync_flows=sync.n_flows if sync is not None else 0,
+            )
+        )
+    return attributions
+
+
+def _mean(values: List[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return sum(finite) / len(finite) if finite else float("nan")
+
+
+@dataclass
+class ForensicsReport:
+    """Everything one run's burst forensics concluded."""
+
+    params: "ForensicsParams"
+    n_flows: int
+    duration: float
+    bursts: List[BurstAttribution]
+    sync_events: List[SyncEvent]
+    exact: WindowAccountant
+    sketch: SketchWindowAccountant
+
+    # ------------------------------------------------------------------
+    # Summary scalars (the forensic_* fields of ScenarioMetrics)
+    # ------------------------------------------------------------------
+    @property
+    def n_bursts(self) -> int:
+        return len(self.bursts)
+
+    @property
+    def n_sync_events(self) -> int:
+        return len(self.sync_events)
+
+    @property
+    def n_sync_linked(self) -> int:
+        return sum(1 for b in self.bursts if b.sync_linked)
+
+    @property
+    def precision(self) -> float:
+        """Mean per-burst precision@k of the sketch vs the exact top-k."""
+        return _mean([b.precision for b in self.bursts])
+
+    @property
+    def burst_time_fraction(self) -> float:
+        """Fraction of the run spent inside a burst episode."""
+        if self.duration <= 0:
+            return float("nan")
+        return (
+            sum(b.episode.duration for b in self.bursts) / self.duration
+        )
+
+    @property
+    def top_flow(self) -> int:
+        """The single heaviest contributor across all burst windows."""
+        totals = self._burst_totals()
+        if not totals:
+            return -1
+        return ranked_shares(totals, 1)[0].flow_id
+
+    @property
+    def top_flow_share(self) -> float:
+        totals = self._burst_totals()
+        if not totals:
+            return float("nan")
+        return ranked_shares(totals, 1)[0].share
+
+    def _burst_totals(self) -> Dict[int, List[int]]:
+        merged: Dict[int, List[int]] = {}
+        for burst in self.bursts:
+            for flow, entry in self.exact.span_counts(*burst.windows).items():
+                slot = merged.setdefault(flow, [0, 0])
+                slot[0] += entry[0]
+                slot[1] += entry[1]
+        return merged
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Stable payload for JSON export and the golden test."""
+        return {
+            "params": self.params.as_dict(),
+            "n_flows": self.n_flows,
+            "duration": self.duration,
+            "n_bursts": self.n_bursts,
+            "n_sync_events": self.n_sync_events,
+            "n_sync_linked": self.n_sync_linked,
+            "precision_at_k": self.precision,
+            "burst_time_fraction": self.burst_time_fraction,
+            "top_flow": self.top_flow,
+            "top_flow_share": self.top_flow_share,
+            "bursts": [b.as_dict() for b in self.bursts],
+            "sync_events": [s.as_dict() for s in self.sync_events],
+        }
+
+    def to_series(self) -> List[Tuple[str, "TimeSeries"]]:
+        """``(name, series)`` pairs for :meth:`ObsBundle.export`."""
+        from repro.obs.registry import TimeSeries
+
+        bursts = TimeSeries(
+            "forensic_bursts",
+            columns=(
+                "end",
+                "duration",
+                "peak",
+                "peak_time",
+                "drops",
+                "top_flow",
+                "top_share",
+                "precision",
+                "sync_relation",
+                "sync_time",
+            ),
+        )
+        for b in self.bursts:
+            e = b.episode
+            bursts.append(
+                e.start,
+                e.end,
+                e.duration,
+                e.peak,
+                e.peak_time,
+                e.drops,
+                b.top_flow,
+                b.top_share,
+                b.precision,
+                b.sync_relation,
+                b.sync_time,
+            )
+        attribution = TimeSeries(
+            "forensic_attribution",
+            columns=(
+                "window",
+                "source",
+                "rank",
+                "flow_id",
+                "packets",
+                "bytes",
+                "share",
+            ),
+        )
+        k = self.params.top_k
+        for index in self.exact.windows():
+            start = self.exact.window_start(index)
+            for source, shares in (
+                ("exact", self.exact.top_k(index, k)),
+                ("sketch", self.sketch.top_k(index, k)),
+            ):
+                for rank, share in enumerate(shares, start=1):
+                    attribution.append(
+                        start,
+                        index,
+                        source,
+                        rank,
+                        share.flow_id,
+                        share.packets,
+                        share.bytes,
+                        share.share,
+                    )
+        syncs = TimeSeries(
+            "forensic_sync", columns=("end", "n_flows", "fraction")
+        )
+        for s in self.sync_events:
+            syncs.append(s.time, s.end, s.n_flows, s.fraction)
+        return [
+            ("forensic_bursts", bursts),
+            ("forensic_attribution", attribution),
+            ("forensic_sync", syncs),
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, top: Optional[int] = None) -> str:
+        """Text report: episode table, per-burst culprits, sync events."""
+        from repro.analysis.tables import format_table
+
+        top = top if top is not None else self.params.top_k
+        lines: List[str] = []
+        lines.append(
+            f"Burst forensics: {self.n_bursts} burst(s), "
+            f"{self.n_sync_events} sync event(s), "
+            f"{self.n_sync_linked}/{self.n_bursts} sync-linked"
+            if self.n_bursts
+            else "Burst forensics: no burst episodes detected"
+        )
+        precision = self.precision
+        if not math.isnan(precision):
+            lines.append(
+                f"sketch-vs-exact precision@{self.params.top_k}: "
+                f"{precision:.3f} "
+                f"(sketch: {self.params.sketch_capacity} counters)"
+            )
+        if self.bursts:
+            rows = [
+                [
+                    i,
+                    round(b.episode.start, 3),
+                    round(b.episode.end, 3),
+                    b.episode.peak,
+                    b.episode.drops,
+                    b.sync_relation or "-",
+                    (
+                        round(b.sync_time, 3)
+                        if not math.isnan(b.sync_time)
+                        else "-"
+                    ),
+                    b.sync_flows or "-",
+                ]
+                for i, b in enumerate(self.bursts)
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    [
+                        "burst",
+                        "start s",
+                        "end s",
+                        "peak pkts",
+                        "drops",
+                        "sync",
+                        "sync t",
+                        "sync flows",
+                    ],
+                    rows,
+                    title="Burst episodes",
+                )
+            )
+            for i, b in enumerate(self.bursts):
+                sketch_rank = {
+                    s.flow_id: rank
+                    for rank, s in enumerate(b.sketch_top, start=1)
+                }
+                rows = [
+                    [
+                        rank,
+                        s.flow_id,
+                        s.packets,
+                        s.bytes,
+                        round(100.0 * s.share, 1),
+                        sketch_rank.get(s.flow_id, "-"),
+                    ]
+                    for rank, s in enumerate(b.exact_top[:top], start=1)
+                ]
+                lines.append("")
+                lines.append(
+                    format_table(
+                        [
+                            "rank",
+                            "flow",
+                            "pkts",
+                            "bytes",
+                            "share %",
+                            "sketch rank",
+                        ],
+                        rows,
+                        title=(
+                            f"Burst {i} culprits "
+                            f"(t={b.episode.start:.2f}..{b.episode.end:.2f}s)"
+                        ),
+                    )
+                )
+        if self.sync_events:
+            rows = [
+                [
+                    round(s.time, 3),
+                    round(s.end, 3),
+                    s.n_flows,
+                    round(100.0 * s.fraction, 1),
+                ]
+                for s in self.sync_events
+            ]
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["t s", "end s", "flows", "% of flows"],
+                    rows,
+                    title="Loss-synchronization events",
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Loss-synchronization detection and burst linkage.
+
+The paper's mechanism for TCP-induced burstiness: a gateway overflow
+makes *many* flows halve cwnd at nearly the same instant, their windows
+then regrow in lockstep, and the next overload arrives as one
+synchronized wave.  :class:`LossSyncDetector` finds those instants --
+any one-RTT span in which at least ``max(2, ceil(fraction * n_flows))``
+distinct flows cut their window -- and :func:`link_bursts` ties each
+burst episode to the sync event that preceded it (the wave that built
+the burst) or fired inside it (the cut the burst itself forced).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.forensics.bursts import BurstEpisode
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One cluster of near-simultaneous cwnd cuts."""
+
+    time: float  # first cut in the cluster
+    end: float  # last cut
+    flows: Tuple[int, ...]  # distinct flows that cut, sorted
+    fraction: float  # len(flows) / population
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "end": self.end,
+            "n_flows": self.n_flows,
+            "fraction": self.fraction,
+        }
+
+
+class LossSyncDetector:
+    """Collects per-flow cwnd-cut events; clusters them on finalize.
+
+    Args:
+        n_flows: population size the quorum fraction applies to.
+        window: the "within one RTT" span, seconds.
+        fraction: quorum as a fraction of ``n_flows``; the absolute
+            quorum is ``max(2, ceil(fraction * n_flows))`` (one flow
+            halving alone is never synchronization).
+    """
+
+    def __init__(self, n_flows: int, window: float, fraction: float) -> None:
+        if window <= 0:
+            raise ValueError("sync window must be positive")
+        if not 0 < fraction <= 1:
+            raise ValueError("sync fraction must lie in (0, 1]")
+        self.n_flows = n_flows
+        self.window = window
+        self.fraction = fraction
+        self.min_flows = max(2, math.ceil(fraction * n_flows))
+        self._events: List[Tuple[float, int]] = []
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def on_loss(self, flow_id: int, time: float) -> None:
+        """Record one flow's multiplicative window cut."""
+        self._events.append((time, flow_id))
+
+    def finalize(self) -> List[SyncEvent]:
+        """Cluster the recorded cuts into synchronization events.
+
+        A cut *qualifies* when some window-wide span containing it holds
+        cuts from at least ``min_flows`` distinct flows; maximal runs of
+        qualifying cuts separated by at most one window become one
+        :class:`SyncEvent` each (overlapping qualifying spans merge).
+        """
+        events = sorted(self._events)
+        n = len(events)
+        if n == 0:
+            return []
+        times = [e[0] for e in events]
+        flows = [e[1] for e in events]
+
+        # Sliding window [i..j]: how many distinct flows cut within one
+        # window of event i?  Mark every event inside a qualifying span.
+        covered = [False] * n
+        flow_count: Dict[int, int] = {}
+        distinct = 0
+        j = -1
+        marked_until = -1
+        for i in range(n):
+            while j + 1 < n and times[j + 1] - times[i] <= self.window:
+                j += 1
+                flow = flows[j]
+                flow_count[flow] = flow_count.get(flow, 0) + 1
+                if flow_count[flow] == 1:
+                    distinct += 1
+            if distinct >= self.min_flows:
+                for idx in range(max(i, marked_until + 1), j + 1):
+                    covered[idx] = True
+                covered[i] = True
+                marked_until = max(marked_until, j)
+            flow = flows[i]
+            flow_count[flow] -= 1
+            if flow_count[flow] == 0:
+                distinct -= 1
+
+        # Group covered events into clusters (gap > window splits).
+        clusters: List[List[int]] = []
+        current: List[int] = []
+        for idx in range(n):
+            if not covered[idx]:
+                continue
+            if current and times[idx] - times[current[-1]] > self.window:
+                clusters.append(current)
+                current = [idx]
+            else:
+                current.append(idx)
+        if current:
+            clusters.append(current)
+
+        result = []
+        for cluster in clusters:
+            cluster_flows = tuple(sorted({flows[idx] for idx in cluster}))
+            result.append(
+                SyncEvent(
+                    time=times[cluster[0]],
+                    end=times[cluster[-1]],
+                    flows=cluster_flows,
+                    fraction=(
+                        len(cluster_flows) / self.n_flows
+                        if self.n_flows
+                        else 0.0
+                    ),
+                )
+            )
+        return result
+
+
+def link_bursts(
+    episodes: List[BurstEpisode],
+    syncs: List[SyncEvent],
+    lookback: float,
+    horizon: float,
+) -> List[Tuple[str, Optional[SyncEvent]]]:
+    """Match each burst episode to its loss-sync event, if any.
+
+    Returns one ``(relation, sync)`` pair per episode:
+
+    * ``("preceding", sync)`` -- the latest sync whose cuts finished at
+      most ``lookback`` seconds before the burst opened (the lockstep
+      regrowth wave that built this burst);
+    * ``("triggered", sync)`` -- otherwise, the earliest sync starting
+      inside ``[start, end + horizon]`` (the cuts this burst's own
+      overflow forced; horizon covers detection lag -- dupacks need an
+      RTT, timeouts an RTO -- after the queue has already drained);
+    * ``("", None)`` -- no sync near the episode at all.
+    """
+    links: List[Tuple[str, Optional[SyncEvent]]] = []
+    for episode in episodes:
+        preceding = None
+        for sync in syncs:
+            if sync.time <= episode.start and (
+                episode.start - sync.end
+            ) <= lookback:
+                if preceding is None or sync.time > preceding.time:
+                    preceding = sync
+        if preceding is not None:
+            links.append(("preceding", preceding))
+            continue
+        triggered = None
+        for sync in syncs:
+            if episode.start < sync.time <= episode.end + horizon:
+                triggered = sync
+                break
+        if triggered is not None:
+            links.append(("triggered", triggered))
+        else:
+            links.append(("", None))
+    return links

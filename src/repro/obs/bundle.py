@@ -12,11 +12,14 @@ import csv
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.obs.engineprof import EngineProfile
 from repro.obs.probes import FlowProbe, QueueProbe
 from repro.obs.registry import MetricRegistry, TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.forensics.report import ForensicsReport
 
 
 def _write_jsonl(path: str, series: TimeSeries, extra: Dict[str, Any]) -> int:
@@ -53,6 +56,7 @@ class ObsBundle:
         flows: per-flow probes keyed by flow id.
         queue: bottleneck-queue probe (None when queue tracing was off).
         registry: the metric registry all probes published into.
+        forensics: burst-forensics report (None when forensics was off).
     """
 
     categories: Tuple[str, ...] = ()
@@ -60,6 +64,7 @@ class ObsBundle:
     flows: Dict[int, FlowProbe] = field(default_factory=dict)
     queue: Optional[QueueProbe] = None
     registry: Optional[MetricRegistry] = None
+    forensics: Optional["ForensicsReport"] = None
 
     # ------------------------------------------------------------------
     # Summary counts (the obs_* fields of ScenarioMetrics)
@@ -102,6 +107,11 @@ class ObsBundle:
         * ``flow_state.<fmt>``    -- per-flow state transitions;
         * ``queue_occupancy.<fmt>`` -- queue length + RED average;
         * ``queue_drops.<fmt>``   -- per-drop events with cause;
+        * ``forensic_bursts.<fmt>``      -- burst episodes + sync links;
+        * ``forensic_attribution.<fmt>`` -- per-window top-k rankings
+          (exact and sketch rows side by side);
+        * ``forensic_sync.<fmt>`` -- loss-synchronization events;
+        * ``forensics.json``      -- the full forensics report payload;
         * ``registry.json``       -- scalar metric snapshot.
 
         Returns the list of paths written.
@@ -140,6 +150,17 @@ class ObsBundle:
             extra = {"queue": self.queue.queue.name}
             emit(f"queue_occupancy.{fmt}", self.queue.occupancy, extra)
             emit(f"queue_drops.{fmt}", self.queue.drops, extra)
+
+        if self.forensics is not None:
+            for name, series in self.forensics.to_series():
+                emit(f"{name}.{fmt}", series, {})
+            path = os.path.join(directory, "forensics.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    self.forensics.as_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+            written.append(path)
 
         snapshot = self.snapshot()
         if snapshot:

@@ -130,6 +130,13 @@ class TestDigestCompleteness:
         "obs_profile",
         "obs_queue_sample_interval",
         "scheduler",
+        "forensics",
+        "forensics_window",
+        "forensics_top_k",
+        "forensics_sketch_capacity",
+        "forensics_burst_enter",
+        "forensics_burst_exit",
+        "forensics_sync_fraction",
     }
 
     def test_digest_covers_every_physics_field(self):

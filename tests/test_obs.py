@@ -286,6 +286,78 @@ class TestQueueProbe:
         assert probe.drop_causes == {"tail_overflow": 2}
         assert reg.counter("drops.cause.tail_overflow").value == 2
 
+    def test_droptail_drop_rows_identify_overflowed_packets(self):
+        # Per-row attribution: the drops series names the exact packets
+        # the full buffer refused, each labelled tail_overflow.
+        reg = MetricRegistry(categories=("drops",))
+        queue = DropTailQueue(2, name="q")
+        probe = QueueProbe(reg, queue)
+        for packet in self._packets(4):
+            queue.enqueue(packet, 1.0)
+        assert probe.drops.column("cause") == ["tail_overflow"] * 2
+        assert probe.drops.column("seqno") == [2, 3]  # first 2 admitted
+
+    def test_red_early_drop_rows(self):
+        # rng always below the drop probability: with avg in the
+        # (min_th, max_th) band every arrival takes the probabilistic
+        # early-drop path, never the forced or overflow ones.
+        class AlwaysBelow:
+            def random(self):
+                return 0.0
+
+        reg = MetricRegistry(categories=("drops",))
+        # weight=1 makes the average track the instantaneous length.
+        queue = REDQueue(
+            100,
+            REDParams(min_th=1.0, max_th=50.0, weight=1.0),
+            rng=AlwaysBelow(),
+            name="red",
+        )
+        probe = QueueProbe(reg, queue)
+        for packet in self._packets(8):
+            queue.enqueue(packet, 1.0)
+        assert set(probe.drops.column("cause")) == {"red_early"}
+        assert probe.drop_causes == {"red_early": queue.stats.drops}
+
+    def test_red_forced_drop_rows(self):
+        # rng never below the probability: early drops cannot fire, so
+        # once the average reaches max_th (buffer far from full) every
+        # refusal is a forced drop.
+        class NeverBelow:
+            def random(self):
+                return 1.0
+
+        reg = MetricRegistry(categories=("drops",))
+        queue = REDQueue(
+            100,
+            REDParams(min_th=1.0, max_th=3.0, weight=1.0),
+            rng=NeverBelow(),
+            name="red",
+        )
+        probe = QueueProbe(reg, queue)
+        for packet in self._packets(6):
+            queue.enqueue(packet, 1.0)
+        assert queue.stats.drops > 0
+        assert set(probe.drops.column("cause")) == {"red_forced"}
+        assert "red_early" not in probe.drop_causes
+        assert "buffer_overflow" not in probe.drop_causes
+
+    def test_red_buffer_overflow_drop_rows(self):
+        # min_th far above the physical capacity: RED never engages, so
+        # the only refusals are physical buffer overflows -- RED's
+        # droptail-of-last-resort path, labelled distinctly.
+        reg = MetricRegistry(categories=("drops",))
+        queue = REDQueue(
+            3,
+            REDParams(min_th=50.0, max_th=60.0, weight=1.0),
+            name="red",
+        )
+        probe = QueueProbe(reg, queue)
+        for packet in self._packets(5):
+            queue.enqueue(packet, 1.0)
+        assert probe.drops.column("cause") == ["buffer_overflow"] * 2
+        assert probe.drops.column("seqno") == [3, 4]
+
     def test_red_drop_causes_labelled(self):
         reg = MetricRegistry(categories=("queue", "drops"))
         queue = REDQueue(
