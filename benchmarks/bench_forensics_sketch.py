@@ -1,0 +1,215 @@
+"""Recall-vs-memory benchmark: space-saving vs conservative count-min.
+
+Both sketches answer the same question -- which flows filled this
+attribution window -- under a hard memory budget, but they spend the
+budget differently: space-saving keeps ``capacity`` exact-ish counters
+with per-key error floors (4 words per entry: key, weight, count,
+error), while count-min spends most of its budget on anonymous hash
+counters (``2 * depth * width`` words for the byte and packet arrays)
+plus a ``capacity``-key candidate set for top-k readout.
+
+The benchmark replays the *actual admitted-packet stream* of a seeded
+congested dumbbell (captured by spying on the forensics probe's sketch
+accountant, so ordering and windowing match production exactly) into
+both sketches across a range of memory budgets, and reports mean
+precision@5 (tie-tolerant) and recall@5 (strict) against the exact
+accountant per window.
+
+The headline gate: at an equal memory budget, conservative-update
+count-min must reach precision@5 >= 0.9 on the seeded scenario.  The
+curves document the honest trade-off around that point -- in this
+dense, near-uniform regime (~35 active flows per RTT window, with the
+top-5 byte threshold close to the median flow's bytes) count-min needs
+roughly 2.5x space-saving's budget to match its precision, because
+space-saving's per-key guarantees subtract eviction floors while
+count-min's estimates only ever overshoot.  See DESIGN.md section 14.
+
+Set ``REPRO_BENCH_SKETCH_JSON`` to a path to dump the curves as JSON
+(CI uploads this as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.experiments.config import paper_config
+from repro.experiments.scenario import Scenario
+from repro.forensics.windows import (
+    CountMinSketch,
+    SpaceSavingSketch,
+    precision_at_k,
+    ranked_shares,
+    recall_at_k,
+)
+
+TOP_K = 5
+
+#: The equal-memory comparison point of the headline gate (words).
+#: SS(58) = 4*58 = 232; CM(capacity=40, depth=2, width=48) =
+#: 2*2*48 + 40 = 232.
+GATE_SS_CAPACITY = 58
+GATE_CM = dict(capacity=40, depth=2, width=48)
+GATE_PRECISION = 0.9
+
+#: Curve points: (label, factory kwargs).  Budgets bracket the gate.
+SS_CURVE = (10, 15, 20, 30, 58)
+CM_CURVE = (
+    dict(capacity=20, depth=2, width=16),
+    dict(capacity=20, depth=2, width=32),
+    dict(capacity=20, depth=2, width=40),
+    dict(capacity=40, depth=2, width=48),
+    dict(capacity=40, depth=2, width=72),
+)
+
+
+def _capture() -> Tuple[List[List[Tuple[int, int]]], List[List]]:
+    """Replay material from the seeded N=40 dumbbell.
+
+    Returns per-window ``(flow_id, nbytes)`` update streams in true
+    arrival order, and the matching exact top-k rankings.
+    """
+    config = paper_config(n_clients=40, duration=16.0, seed=7, forensics=True)
+    scenario = Scenario(config)
+    probe = scenario.forensics_probe
+    assert probe is not None
+    updates: Dict[int, List[Tuple[int, int]]] = {}
+    original = probe.sketch.record
+
+    def spy(flow_id: int, time: float, nbytes: int) -> None:
+        updates.setdefault(probe.sketch.window_index(time), []).append(
+            (flow_id, nbytes)
+        )
+        original(flow_id, time, nbytes)
+
+    probe.sketch.record = spy  # type: ignore[method-assign]
+    scenario.run()
+    streams: List[List[Tuple[int, int]]] = []
+    exact_tops: List[List] = []
+    for index in probe.exact.windows():
+        stream = updates.get(index)
+        if not stream:
+            continue
+        streams.append(stream)
+        exact_tops.append(
+            ranked_shares(probe.exact.window_counts(index), TOP_K)
+        )
+    return streams, exact_tops
+
+
+def _replay(make_sketch, streams, exact_tops) -> Dict[str, float]:
+    """Mean precision@5 / recall@5 over all windows, plus the budget."""
+    precisions: List[float] = []
+    recalls: List[float] = []
+    words = 0
+    for stream, exact in zip(streams, exact_tops):
+        sketch = make_sketch()
+        words = sketch.memory_words()
+        for flow_id, nbytes in stream:
+            sketch.update(flow_id, nbytes)
+        total = sketch.total_weight
+        approx = [
+            # Mirror SketchWindowAccountant.top_k: rank rows as the
+            # sketch orders them, bytes = guaranteed weight.
+            type(exact[0])(
+                flow_id=key,
+                packets=count,
+                bytes=weight - error,
+                share=(weight - error) / total if total else 0.0,
+            )
+            for key, weight, count, error in sketch.top_k(TOP_K)
+        ]
+        precisions.append(precision_at_k(exact, approx, TOP_K))
+        recalls.append(recall_at_k(exact, approx, TOP_K))
+    n = len(precisions)
+    return {
+        "memory_words": words,
+        "windows": n,
+        "precision_at_5": sum(precisions) / n if n else 1.0,
+        "recall_at_5": sum(recalls) / n if n else 1.0,
+    }
+
+
+def _curves(streams, exact_tops) -> Dict[str, List[Dict[str, float]]]:
+    curves: Dict[str, List[Dict[str, float]]] = {
+        "spacesaving": [], "countmin": []
+    }
+    for capacity in SS_CURVE:
+        point = _replay(
+            lambda: SpaceSavingSketch(capacity), streams, exact_tops
+        )
+        point["capacity"] = capacity
+        curves["spacesaving"].append(point)
+    for kwargs in CM_CURVE:
+        point = _replay(
+            lambda: CountMinSketch(**kwargs), streams, exact_tops
+        )
+        point.update(kwargs)
+        curves["countmin"].append(point)
+    return curves
+
+
+def _report(name: str, data) -> None:
+    """Merge one measurement into the JSON report, if one was asked for."""
+    path = os.environ.get("REPRO_BENCH_SKETCH_JSON")
+    if not path:
+        return
+    payload: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload[name] = data
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _render_curve(name: str, points: List[Dict[str, float]]) -> str:
+    rows = [
+        f"  {name:>12s} {int(p['memory_words']):>4d} words: "
+        f"precision@5 {p['precision_at_5']:.3f}  "
+        f"recall@5 {p['recall_at_5']:.3f}"
+        for p in points
+    ]
+    return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# The gate: count-min must match space-saving at equal memory
+# ----------------------------------------------------------------------
+def test_countmin_precision_at_equal_memory():
+    streams, exact_tops = _capture()
+    ss = _replay(
+        lambda: SpaceSavingSketch(GATE_SS_CAPACITY), streams, exact_tops
+    )
+    cm = _replay(lambda: CountMinSketch(**GATE_CM), streams, exact_tops)
+    _report("gate", {"spacesaving": ss, "countmin": cm})
+    print(
+        f"\nequal-memory gate ({ss['memory_words']} words, "
+        f"{ss['windows']} windows):\n"
+        + _render_curve("spacesaving", [ss])
+        + "\n"
+        + _render_curve("countmin", [cm])
+    )
+    assert ss["memory_words"] == cm["memory_words"]
+    assert cm["precision_at_5"] >= GATE_PRECISION
+
+
+# ----------------------------------------------------------------------
+# Information: the full recall-vs-memory trade-off curves
+# ----------------------------------------------------------------------
+def test_recall_vs_memory_curves():
+    streams, exact_tops = _capture()
+    curves = _curves(streams, exact_tops)
+    _report("curves", curves)
+    print("\nrecall-vs-memory curves (seeded N=40 dumbbell):")
+    for name, points in curves.items():
+        print(_render_curve(name, points))
+    # Sanity on the documented shape: both sketches converge to exact
+    # rankings as memory grows, and every curve is within bounds.
+    for points in curves.values():
+        for point in points:
+            assert 0.0 <= point["precision_at_5"] <= 1.0
+            assert 0.0 <= point["recall_at_5"] <= 1.0
+        assert points[-1]["precision_at_5"] >= 0.95

@@ -34,6 +34,7 @@ from repro.experiments.scenario import Scenario, ScenarioResult, run_scenario
 from repro.experiments.sweep import run_many
 from repro.experiments.figures import (
     FIGURE2_PROTOCOLS,
+    FORENSICS_PROTOCOLS,
     WORKLOAD_PROTOCOLS,
     FigureData,
     cwnd_trace_experiment,
@@ -41,13 +42,16 @@ from repro.experiments.figures import (
     figure3_throughput,
     figure4_loss,
     figure13_timeout_ratio,
+    figure_forensics_sweep,
     figure_workload_latency,
+    run_forensics_sweep,
     run_protocol_sweep,
     run_workload_sweep,
 )
 
 __all__ = [
     "FIGURE2_PROTOCOLS",
+    "FORENSICS_PROTOCOLS",
     "FigureData",
     "PROTOCOLS",
     "Progress",
@@ -68,8 +72,10 @@ __all__ = [
     "figure3_throughput",
     "figure4_loss",
     "figure13_timeout_ratio",
+    "figure_forensics_sweep",
     "figure_workload_latency",
     "paper_config",
+    "run_forensics_sweep",
     "run_many",
     "run_protocol_sweep",
     "run_scenario",

@@ -58,6 +58,7 @@ from repro.analysis.tables import format_table
 from repro.experiments.config import WORKLOADS, paper_config, table1_rows
 from repro.experiments.figures import (
     FLUID_CLIENT_COUNTS,
+    FORENSICS_CLIENT_COUNTS,
     LARGEN_CLIENT_COUNTS,
     FigureData,
     cwnd_trace_experiment,
@@ -67,8 +68,10 @@ from repro.experiments.figures import (
     figure13_timeout_ratio,
     figure_burst_attribution,
     figure_fluid_cov,
+    figure_forensics_sweep,
     figure_largen_cov,
     run_fluid_sweep,
+    run_forensics_sweep,
     run_largen_sweep,
     run_protocol_sweep,
 )
@@ -361,22 +364,42 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         help="run burst forensics (episode segmentation, top-k flow "
         "attribution, loss-sync linkage) and print the report",
     )
+    group.add_argument(
+        "--forensics-stream",
+        default=None,
+        metavar="PATH",
+        help="stream forensics records (windows, sync events, burst "
+        "attributions) to this JSONL file as the run progresses; "
+        "implies --forensics",
+    )
+    group.add_argument(
+        "--forensics-stream-interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sim-time checkpoint interval between stream flushes "
+        "(default 1.0)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    stream_path = getattr(args, "forensics_stream", None)
     config = _base_config(args).with_(
         protocol=args.protocol,
         queue=args.queue,
         n_clients=args.clients,
         obs_trace=tuple(args.trace),
         obs_profile=bool(args.obs_dir),
-        forensics=bool(getattr(args, "forensics", False)),
+        forensics=bool(getattr(args, "forensics", False)) or bool(stream_path),
     )
-    if args.obs_dir or args.trace_file:
+    stream = None
+    if args.obs_dir or args.trace_file or stream_path:
         # Build the scenario by hand so pre-run attachments (the ns
-        # tracefile writer) and post-run exports can reach inside it.
+        # tracefile writer, the forensics stream) and post-run exports
+        # can reach inside it.
         scenario = Scenario(config)
         trace_handle = None
+        stream_handle = None
         if args.trace_file:
             from repro.net.tracefile import NsTraceWriter
 
@@ -384,11 +407,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             writer = NsTraceWriter(trace_handle).attach(
                 scenario.network.bottleneck_interface
             )
+        if stream_path:
+            stream_handle = open(stream_path, "w", encoding="utf-8")
+            stream = scenario.attach_forensics_stream(
+                stream_handle, interval=args.forensics_stream_interval
+            )
         try:
             result = scenario.run()
         finally:
             if trace_handle is not None:
                 trace_handle.close()
+            if stream_handle is not None:
+                stream_handle.close()
     else:
         result = run_scenario(config)
     metrics = ScenarioMetrics.from_result(result)
@@ -404,6 +434,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.forensics.render())
     if args.trace_file:
         print(f"\nwrote {args.trace_file} ({writer.lines_written} trace lines)")
+    if stream is not None:
+        print(
+            f"\nwrote {stream_path} "
+            f"({stream.records_written} forensics stream records)"
+        )
     if args.obs_dir and result.obs is not None:
         for path in result.obs.export(args.obs_dir, fmt=args.obs_format):
             print(f"wrote {path}")
@@ -445,8 +480,49 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_forensics_sweep(args: argparse.Namespace) -> int:
+    """The forensics grid: burst rate and sync linkage vs N per
+    protocol x AQM, next to Figure 2's c.o.v. curve."""
+    # Match run_forensics_sweep's no-base default: a widened buffer so
+    # RED's early-drop region has headroom over its thresholds.
+    base = _base_config(args).with_(buffer_capacity=100)
+    sweep = run_forensics_sweep(
+        args.sweep,
+        base=base,
+        processes=args.processes,
+        **_runner_kwargs(args),
+    )
+    rate_figure = figure_forensics_sweep(sweep, "forensic_burst_rate")
+    linked_figure = figure_forensics_sweep(
+        sweep, "forensic_sync_linked_fraction"
+    )
+    cov_figure = figure2_cov(sweep, base)
+    for figure in (rate_figure, linked_figure, cov_figure):
+        print(figure.render_plot())
+        print()
+        print(figure.render_table())
+        print()
+    if args.json:
+        results_to_json(
+            {
+                "burst_rate": rate_figure.series,
+                "sync_linked_fraction": linked_figure.series,
+                "cov": cov_figure.series,
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    if args.csv:
+        rows = [m.as_dict() for metrics in sweep.values() for m in metrics]
+        results_to_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     """Run one scenario under burst forensics and print the report."""
+    if args.sweep is not None:
+        return _cmd_forensics_sweep(args)
     overrides = {"forensics": True}
     if args.top is not None:
         overrides["forensics_top_k"] = args.top
@@ -489,10 +565,19 @@ def _cmd_sweeplog(args: argparse.Namespace) -> int:
     """Summarize a sweep's JSONL run log: makespan, worker utilization,
     per-worker load, respawns, and the slowest cells."""
     from repro.experiments.runlog import (
+        follow_runlog,
         read_runlog,
         render_runlog_summary,
         summarize_runlog,
     )
+
+    if args.follow:
+        follow_runlog(
+            args.path,
+            interval=args.interval,
+            max_updates=args.max_updates,
+        )
+        return 0
 
     events = read_runlog(args.path)
     if not events:
@@ -801,6 +886,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="jsonl",
         help="series export format (default jsonl)",
     )
+    forensics_parser.add_argument(
+        "--sweep",
+        type=parse_range,
+        default=None,
+        nargs="?",
+        const=list(FORENSICS_CLIENT_COUNTS),
+        metavar="CLIENTS",
+        help="sweep mode: run the forensics grid (reno/vegas x "
+        "fifo/red) over these client counts (start:stop:step or a "
+        "comma list; default "
+        + ",".join(str(n) for n in FORENSICS_CLIENT_COUNTS)
+        + ") and plot burst rate / sync linkage / c.o.v. vs N",
+    )
     _add_common(forensics_parser)
 
     sweeplog_parser = sub.add_parser(
@@ -810,6 +908,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweeplog_parser.add_argument("path", help="JSONL run log (--run-log output)")
     sweeplog_parser.add_argument(
         "--json", default=None, help="write the summary as JSON"
+    )
+    sweeplog_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="live dashboard: tail the run log while the sweep runs "
+        "(multi-line refresh on a TTY, one status line per update "
+        "otherwise); exits when the log's sweep_end arrives",
+    )
+    sweeplog_parser.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=1.0,
+        help="--follow poll interval, seconds (default 1.0)",
+    )
+    sweeplog_parser.add_argument(
+        "--max-updates",
+        type=_non_negative_int,
+        default=None,
+        help="--follow: stop after this many updates (for smoke tests "
+        "on logs with no sweep_end)",
     )
 
     return parser

@@ -50,6 +50,7 @@ _DIGEST_EXCLUDED_FIELDS = frozenset(
         "forensics_burst_enter",
         "forensics_burst_exit",
         "forensics_sync_fraction",
+        "forensics_sketch",
         # The engine scheduler is an implementation choice, not physics:
         # both schedulers execute the exact same event sequence
         # (tests/test_engine_differential.py), so results cached under
@@ -213,6 +214,11 @@ class ScenarioConfig:
     forensics_burst_enter: float = 0.6
     forensics_burst_exit: float = 0.3
     forensics_sync_fraction: float = 0.25
+    # Which bounded-memory sketch backs the per-window attribution:
+    # "spacesaving" (guaranteed-weight ranking, the default) or
+    # "countmin" (conservative-update count-min; see
+    # benchmarks/bench_forensics_sketch.py for the trade-off curves).
+    forensics_sketch: str = "spacesaving"
 
     # Engine scheduler: "heap" (the reference binary heap) or "wheel"
     # (the large-N timer-wheel fast path).  Digest-excluded: both pop
@@ -400,6 +406,13 @@ class ScenarioConfig:
             )
         if not 0 < self.forensics_sync_fraction <= 1:
             raise ValueError("forensics_sync_fraction must lie in (0, 1]")
+        from repro.forensics.windows import SKETCHES
+
+        if self.forensics_sketch not in SKETCHES:
+            raise ValueError(
+                f"unknown forensics sketch {self.forensics_sketch!r}; "
+                f"choose from {sorted(SKETCHES)}"
+            )
         from repro.sim.engine import SCHEDULERS
 
         if self.scheduler not in SCHEDULERS:

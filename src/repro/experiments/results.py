@@ -111,6 +111,15 @@ class ScenarioMetrics:
     forensic_precision_at_k: float = float("nan")
     forensic_top_flow: int = -1
     forensic_top_flow_share: float = float("nan")
+    # Sweep-grade burstiness summary (PR 8): compact per-cell scalars
+    # the forensics sweep figures plot across N x protocol x AQM.
+    # ``forensic_burst_rate`` is finite (0.0 with no bursts) whenever
+    # forensics ran and NaN otherwise -- the runner and the sweep
+    # backfill use that as the "this cell carries forensics" marker.
+    forensic_burst_rate: float = float("nan")
+    forensic_burst_duration_mean: float = float("nan")
+    forensic_drop_share: float = float("nan")
+    forensic_sync_linked_fraction: float = float("nan")
     error: str = ""
 
     def __eq__(self, other: object) -> bool:
@@ -199,6 +208,14 @@ class ScenarioMetrics:
                 "forensic_precision_at_k": report.precision,
                 "forensic_top_flow": report.top_flow,
                 "forensic_top_flow_share": report.top_flow_share,
+                "forensic_burst_rate": report.burst_rate,
+                "forensic_burst_duration_mean": report.burst_duration_mean,
+                "forensic_drop_share": (
+                    report.burst_drops / result.gateway_drops
+                    if result.gateway_drops
+                    else float("nan")
+                ),
+                "forensic_sync_linked_fraction": report.sync_linked_fraction,
             }
         wall = result.wall_time
         events_per_sec = (

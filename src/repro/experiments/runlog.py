@@ -175,6 +175,10 @@ class RunLog:
         lane: str = "",
         worker: Optional[int] = None,
         backend: str = "",
+        forensic_bursts: Optional[int] = None,
+        forensic_sync_linked: Optional[int] = None,
+        forensic_burst_rate: Optional[float] = None,
+        forensic_sync_linked_fraction: Optional[float] = None,
     ) -> None:
         """Record one completed cell, with optional engine telemetry.
 
@@ -187,7 +191,9 @@ class RunLog:
         engine extras (events executed, simulated-seconds per wall
         second, peak RSS) come from the flight recorder's ``perf_*``
         metrics; None (or NaN) values are simply omitted from the
-        record.
+        record.  The ``forensic_*`` extras appear when the cell ran
+        burst forensics, so ``sweeplog``/``--follow`` can show
+        burstiness columns as cells complete.
         """
         self.progress.completed += 1
         self._busy += max(elapsed, 0.0)
@@ -204,6 +210,22 @@ class RunLog:
             extras["worker"] = worker
         if backend:
             extras["backend"] = backend
+        if forensic_bursts is not None:
+            extras["forensic_bursts"] = forensic_bursts
+        if forensic_sync_linked is not None:
+            extras["forensic_sync_linked"] = forensic_sync_linked
+        if (
+            forensic_burst_rate is not None
+            and forensic_burst_rate == forensic_burst_rate
+        ):
+            extras["forensic_burst_rate"] = round(forensic_burst_rate, 6)
+        if (
+            forensic_sync_linked_fraction is not None
+            and forensic_sync_linked_fraction == forensic_sync_linked_fraction
+        ):
+            extras["forensic_sync_linked_fraction"] = round(
+                forensic_sync_linked_fraction, 6
+            )
         self.emit(
             "task_done",
             index=index,
@@ -317,10 +339,19 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "per_worker": {},
         "lanes": {},
         "backends": {},
+        "forensics": {
+            "cells": 0,
+            "bursts": 0,
+            "sync_linked": 0,
+            "burst_rate_mean": float("nan"),
+            "sync_linked_fraction_mean": float("nan"),
+        },
         "slowest": [],
     }
     per_worker: Dict[Any, Dict[str, float]] = {}
     done_cells: List[Dict[str, Any]] = []
+    rate_sum: List[float] = []
+    linked_sum: List[float] = []
     # index -> backend, learned from task_start/task_done tags so
     # task_failed events (which carry no backend) still attribute.
     cell_backend: Dict[Any, str] = {}
@@ -370,6 +401,17 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             )
             stats["cells"] += 1
             stats["busy"] += elapsed
+            if "forensic_bursts" in event:
+                forensics = summary["forensics"]
+                forensics["cells"] += 1
+                forensics["bursts"] += int(event.get("forensic_bursts") or 0)
+                forensics["sync_linked"] += int(
+                    event.get("forensic_sync_linked") or 0
+                )
+                rate_sum.append(float(event.get("forensic_burst_rate") or 0.0))
+                linked = event.get("forensic_sync_linked_fraction")
+                if linked is not None:
+                    linked_sum.append(float(linked))
             done_cells.append(event)
         elif kind == "cache_hit":
             summary["cached"] += 1
@@ -393,6 +435,12 @@ def summarize_runlog(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         )
     for stats in summary["backends"].values():
         stats["mean"] = stats["busy"] / stats["cells"] if stats["cells"] else 0.0
+    if rate_sum:
+        summary["forensics"]["burst_rate_mean"] = sum(rate_sum) / len(rate_sum)
+    if linked_sum:
+        summary["forensics"]["sync_linked_fraction_mean"] = sum(
+            linked_sum
+        ) / len(linked_sum)
     summary["per_worker"] = per_worker
     summary["slowest"] = sorted(
         done_cells, key=lambda e: float(e.get("elapsed") or 0.0), reverse=True
@@ -429,6 +477,17 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
         f"failed={summary['failed']} retried={summary['retried']} "
         f"respawned={summary['respawned']}"
     )
+    forensics = summary.get("forensics") or {}
+    if forensics.get("cells"):
+        rate = forensics["burst_rate_mean"]
+        linked = forensics["sync_linked_fraction_mean"]
+        lines.append(
+            f"forensics: {forensics['bursts']} burst(s), "
+            f"{forensics['sync_linked']} sync-linked across "
+            f"{forensics['cells']} cell(s)"
+            + (f", mean burst rate {rate:.3f}/s" if rate == rate else "")
+            + (f", mean sync-linked {100.0 * linked:.0f}%" if linked == linked else "")
+        )
     if summary["backends"]:
         rows = [
             [
@@ -468,25 +527,220 @@ def render_runlog_summary(events: List[Dict[str, Any]]) -> str:
             )
         )
     if summary["slowest"]:
-        rows = [
-            [
+        # Burstiness columns appear only when some cell carried
+        # forensic fields, so non-forensics logs render exactly as
+        # before.
+        with_forensics = any(
+            "forensic_bursts" in event for event in summary["slowest"]
+        )
+        headers = ["cell", "digest", "backend", "elapsed s", "attempt"]
+        if with_forensics:
+            headers += ["bursts", "sync-linked"]
+        rows = []
+        for event in summary["slowest"]:
+            row = [
                 event.get("index", "-"),
                 str(event.get("digest", ""))[:12],
                 event.get("backend", "") or "-",
                 round(float(event.get("elapsed") or 0.0), 3),
                 event.get("attempt", 0),
             ]
-            for event in summary["slowest"]
-        ]
+            if with_forensics:
+                if "forensic_bursts" in event:
+                    row += [
+                        event.get("forensic_bursts", 0),
+                        event.get("forensic_sync_linked", 0),
+                    ]
+                else:
+                    row += ["-", "-"]
+            rows.append(row)
         lines.append("")
         lines.append(
-            format_table(
-                ["cell", "digest", "backend", "elapsed s", "attempt"],
-                rows,
-                title="Slowest cells",
-            )
+            format_table(headers, rows, title="Slowest cells")
         )
     return "\n".join(lines)
+
+
+class RunLogTail:
+    """Incremental JSONL reader for a file another process is writing.
+
+    Keeps a byte offset and a partial-line buffer between polls, so a
+    record written in two chunks is parsed once complete rather than
+    dropped.  A missing file (the sweep has not started yet) reads as
+    no new events.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.offset = 0
+        self._partial = ""
+
+    def poll(self) -> List[Dict[str, Any]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+                self.offset = handle.tell()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        pieces = (self._partial + chunk).split("\n")
+        self._partial = pieces.pop()
+        events: List[Dict[str, Any]] = []
+        for line in pieces:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn or corrupt line
+        return events
+
+
+def _follow_eta(summary: Dict[str, Any]) -> float:
+    """Cost-model ETA: remaining cells at the observed mean cell cost,
+    divided across the sweep's workers (cache hits count as done)."""
+    finished = summary["completed"] + summary["cached"] + summary["failed"]
+    remaining = max(summary["total"] - finished, 0)
+    if not remaining:
+        return 0.0
+    if not summary["completed"]:
+        return float("nan")
+    mean = summary["busy"] / summary["completed"]
+    return remaining * mean / max(summary["workers"], 1)
+
+
+def render_follow_snapshot(summary: Dict[str, Any]) -> str:
+    """The multi-line live-dashboard frame for ``sweeplog --follow``."""
+    finished = summary["completed"] + summary["cached"] + summary["failed"]
+    utilization = summary["utilization"]
+    eta = _follow_eta(summary)
+    lines = [
+        f"sweep {finished}/{summary['total']} cells "
+        f"(ok={summary['completed']} cached={summary['cached']} "
+        f"failed={summary['failed']} retried={summary['retried']})",
+        f"pool={summary['pool'] or '?'} schedule={summary['schedule'] or '?'} "
+        f"workers={summary['workers']} "
+        + (
+            f"utilization={100.0 * utilization:.1f}% "
+            if utilization == utilization
+            else "utilization=n/a "
+        )
+        + (f"ETA={eta:.1f}s" if eta == eta else "ETA=n/a"),
+    ]
+    if summary["backends"]:
+        parts = [
+            f"{backend}: {int(stats['cells'])} cells "
+            f"(mean {stats.get('mean', 0.0):.2f}s, max {stats['max']:.2f}s)"
+            for backend, stats in sorted(summary["backends"].items())
+        ]
+        lines.append("backends: " + "; ".join(parts))
+    if summary["per_worker"]:
+        parts = [
+            f"{'-' if worker is None else worker}:{int(stats['cells'])}"
+            for worker, stats in sorted(
+                summary["per_worker"].items(),
+                key=lambda item: (item[0] is None, item[0]),
+            )
+        ]
+        lines.append("per-worker cells: " + " ".join(parts))
+    forensics = summary.get("forensics") or {}
+    if forensics.get("cells"):
+        rate = forensics["burst_rate_mean"]
+        linked = forensics["sync_linked_fraction_mean"]
+        lines.append(
+            f"forensics: {forensics['bursts']} burst(s), "
+            f"{forensics['sync_linked']} sync-linked across "
+            f"{forensics['cells']} cell(s)"
+            + (f", mean rate {rate:.3f}/s" if rate == rate else "")
+            + (f", linked {100.0 * linked:.0f}%" if linked == linked else "")
+        )
+    return "\n".join(lines)
+
+
+def _render_follow_line(summary: Dict[str, Any]) -> str:
+    """The one-line (non-TTY) form of the dashboard frame."""
+    finished = summary["completed"] + summary["cached"] + summary["failed"]
+    utilization = summary["utilization"]
+    eta = _follow_eta(summary)
+    text = (
+        f"[{finished}/{summary['total']}] ok={summary['completed']} "
+        f"cached={summary['cached']} failed={summary['failed']} "
+        f"workers={summary['workers']} "
+        + (
+            f"util={100.0 * utilization:.0f}% "
+            if utilization == utilization
+            else "util=n/a "
+        )
+        + (f"eta={eta:.0f}s" if eta == eta else "eta=n/a")
+    )
+    forensics = summary.get("forensics") or {}
+    if forensics.get("cells"):
+        text += (
+            f" bursts={forensics['bursts']}"
+            f" sync-linked={forensics['sync_linked']}"
+        )
+    return text
+
+
+def follow_runlog(
+    path: str,
+    stream: Optional[TextIO] = None,
+    interval: float = 1.0,
+    max_updates: Optional[int] = None,
+    tty: Optional[bool] = None,
+    sleep=time.sleep,
+) -> int:
+    """Tail a JSONL run log and render a live sweep dashboard.
+
+    Stdlib-only: on a TTY each update repaints a multi-line frame
+    (ANSI home+clear); on anything else (CI logs, pipes) it falls back
+    to one status line per update.  Stops when the log's ``sweep_end``
+    arrives (rendering the full :func:`render_runlog_summary` report)
+    or after ``max_updates`` frames (so smokes terminate on logs with
+    no end event).  Returns the number of frames rendered.
+
+    Args:
+        path: run-log path; may not exist yet (renders a waiting frame).
+        stream: output stream (default stdout).
+        interval: seconds between polls.
+        max_updates: stop after this many frames (None = until end).
+        tty: force TTY/non-TTY rendering (None = ask the stream).
+        sleep: injection point for tests.
+    """
+    out = stream if stream is not None else sys.stdout
+    is_tty = (
+        tty
+        if tty is not None
+        else bool(getattr(out, "isatty", lambda: False)())
+    )
+    clear = "\x1b[H\x1b[2J"
+    tail = RunLogTail(path)
+    events: List[Dict[str, Any]] = []
+    updates = 0
+    while True:
+        new = tail.poll()
+        events.extend(new)
+        updates += 1
+        if any(e.get("event") == "sweep_end" for e in new):
+            body = render_runlog_summary(events)
+            if is_tty:
+                out.write(clear)
+            out.write(body + "\n")
+            out.flush()
+            return updates
+        if new or updates == 1:
+            summary = summarize_runlog(events)
+            if is_tty:
+                out.write(clear + render_follow_snapshot(summary) + "\n")
+            else:
+                out.write(_render_follow_line(summary) + "\n")
+            out.flush()
+        if max_updates is not None and updates >= max_updates:
+            return updates
+        sleep(interval)
 
 
 def stderr_runlog(path: Optional[str] = None, progress: bool = False) -> RunLog:

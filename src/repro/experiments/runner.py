@@ -37,13 +37,14 @@ Windows), so sweeps run on any CI runner.
 from __future__ import annotations
 
 import itertools
+import math
 import multiprocessing
 import os
 import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ScenarioConfig
@@ -365,6 +366,18 @@ class SweepRunner:
         results[task.index] = metrics
         if self.cache is not None and not already_cached and not metrics.failed:
             self.cache.put(task.config, metrics)
+        forensic_extras: Dict[str, Any] = {}
+        if math.isfinite(metrics.forensic_burst_rate):
+            # A finite burst rate marks "forensics ran on this cell";
+            # the sweeplog dashboard and summary pick these up.
+            forensic_extras = {
+                "forensic_bursts": metrics.forensic_bursts,
+                "forensic_sync_linked": metrics.forensic_sync_linked,
+                "forensic_burst_rate": metrics.forensic_burst_rate,
+                "forensic_sync_linked_fraction": (
+                    metrics.forensic_sync_linked_fraction
+                ),
+            }
         self.log.task_done(
             task.index,
             task.digest,
@@ -376,6 +389,7 @@ class SweepRunner:
             lane=self.schedule,
             worker=worker,
             backend=task.config.backend,
+            **forensic_extras,
         )
 
     def _retry_delay(self, attempt: int) -> float:

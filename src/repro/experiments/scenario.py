@@ -242,6 +242,7 @@ class Scenario:
                 ForensicsParams.from_config(config),
                 n_flows=config.n_clients,
                 queue=self.network.bottleneck_queue,
+                sketch_kind=config.forensics_sketch,
             )
         self._build_flows()
         # Packet free-listing: after each executed event, packets that
@@ -443,6 +444,18 @@ class Scenario:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def attach_forensics_stream(self, sink, interval: float):
+        """Stream forensics records to ``sink`` as the run progresses.
+
+        Must be called before :meth:`run`; requires ``forensics=True``.
+        Returns the :class:`~repro.forensics.stream.ForensicsStream`.
+        """
+        if self.forensics_probe is None:
+            raise ValueError(
+                "forensics streaming requires forensics=True on the config"
+            )
+        return self.forensics_probe.stream_to(sink, interval)
+
     def run(self) -> ScenarioResult:
         """Run to the configured duration and collect all metrics."""
         config = self.config

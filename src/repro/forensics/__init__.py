@@ -18,34 +18,60 @@ per-event *diagnosis* a production operator needs:
 :class:`~repro.forensics.probe.ForensicsProbe` wires all three onto a
 live scenario; :class:`~repro.forensics.report.ForensicsReport` is what
 a finished run carries out (tables, JSONL/CSV export, summary metrics).
+:mod:`repro.forensics.stream` adds the incremental mode: the same
+records emitted mid-run as a prefix-consistent JSONL stream with
+bounded memory, finishing in a summary-only
+:class:`~repro.forensics.stream.ForensicsStreamReport`.
 """
 
 from repro.forensics.bursts import BurstDetector, BurstEpisode
 from repro.forensics.probe import LOSS_STATES, ForensicsParams, ForensicsProbe
 from repro.forensics.report import BurstAttribution, ForensicsReport
-from repro.forensics.sync import LossSyncDetector, SyncEvent, link_bursts
+from repro.forensics.stream import (
+    ForensicsStream,
+    ForensicsStreamReport,
+    offline_stream_lines,
+    offline_stream_records,
+)
+from repro.forensics.sync import (
+    IncrementalSyncClusterer,
+    LossSyncDetector,
+    SyncEvent,
+    link_bursts,
+)
 from repro.forensics.windows import (
+    SKETCHES,
+    CountMinSketch,
     FlowShare,
     SketchWindowAccountant,
     SpaceSavingSketch,
     WindowAccountant,
     precision_at_k,
+    recall_at_k,
 )
 
 __all__ = [
     "BurstAttribution",
     "BurstDetector",
     "BurstEpisode",
+    "CountMinSketch",
     "FlowShare",
     "ForensicsParams",
     "ForensicsProbe",
     "ForensicsReport",
+    "ForensicsStream",
+    "ForensicsStreamReport",
+    "IncrementalSyncClusterer",
     "LOSS_STATES",
     "LossSyncDetector",
+    "SKETCHES",
     "SketchWindowAccountant",
     "SpaceSavingSketch",
     "SyncEvent",
     "WindowAccountant",
     "link_bursts",
+    "offline_stream_lines",
+    "offline_stream_records",
     "precision_at_k",
+    "recall_at_k",
 ]

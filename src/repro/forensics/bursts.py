@@ -66,6 +66,17 @@ class BurstDetector:
     def in_burst(self) -> bool:
         return self._open is not None
 
+    @property
+    def open_start(self) -> Optional[float]:
+        """Start time of the episode currently open, if any."""
+        return self._open.start if self._open is not None else None
+
+    def drain_episodes(self) -> List[BurstEpisode]:
+        """Hand over the closed episodes (streaming memory bound)."""
+        episodes = self.episodes
+        self.episodes = []
+        return episodes
+
     def on_sample(self, now: float, length: int) -> None:
         """Feed one occupancy sample (call on every length change)."""
         episode = self._open

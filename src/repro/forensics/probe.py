@@ -16,15 +16,20 @@ same reason the obs knobs are).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import IO, TYPE_CHECKING, Dict, Optional, Union
 
 from repro.forensics.bursts import BurstDetector
 from repro.forensics.report import ForensicsReport, build_attributions
 from repro.forensics.sync import LossSyncDetector
-from repro.forensics.windows import SketchWindowAccountant, WindowAccountant
+from repro.forensics.windows import (
+    SKETCHES,
+    SketchWindowAccountant,
+    WindowAccountant,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.config import ScenarioConfig
+    from repro.forensics.stream import ForensicsStream, ForensicsStreamReport
     from repro.net.packet import Packet
     from repro.net.queues import PacketQueue
 
@@ -97,19 +102,31 @@ class ForensicsProbe:
         params: ForensicsParams,
         n_flows: int,
         queue: Optional["PacketQueue"] = None,
+        sketch_kind: str = "spacesaving",
     ) -> None:
+        try:
+            factory = SKETCHES[sketch_kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown forensics sketch {sketch_kind!r}; "
+                f"choose from {sorted(SKETCHES)}"
+            ) from None
         self.params = params
         self.n_flows = n_flows
+        self.sketch_kind = sketch_kind
         self.exact = WindowAccountant(params.window)
         self.sketch = SketchWindowAccountant(
-            params.window, params.sketch_capacity
+            params.window, params.sketch_capacity, factory=factory
         )
         self.bursts = BurstDetector(params.burst_enter, params.burst_exit)
         self.sync = LossSyncDetector(
             n_flows, params.sync_window, params.sync_fraction
         )
         self.queue: Optional["PacketQueue"] = None
-        self._report: Optional[ForensicsReport] = None
+        self.stream: Optional["ForensicsStream"] = None
+        self._report: Optional[
+            Union[ForensicsReport, "ForensicsStreamReport"]
+        ] = None
         if queue is not None:
             self.attach(queue)
 
@@ -124,6 +141,23 @@ class ForensicsProbe:
         queue.add_drop_hook(self._on_drop)
         return self
 
+    def stream_to(self, sink: IO[str], interval: float) -> "ForensicsStream":
+        """Switch to incremental emission: flush final records to
+        ``sink`` as JSONL roughly every ``interval`` sim seconds.
+
+        Checkpoints piggyback on the queue hooks the probe already
+        owns (no simulator events are scheduled), so streaming cannot
+        change event counts or any physics-derived metric.  After a
+        streamed run :meth:`finalize` returns the summary-only
+        :class:`~repro.forensics.stream.ForensicsStreamReport`.
+        """
+        from repro.forensics.stream import ForensicsStream
+
+        if self.stream is not None:
+            raise RuntimeError("forensics stream already attached")
+        self.stream = ForensicsStream(self, sink, interval)
+        return self.stream
+
     # ------------------------------------------------------------------
     # Hook bodies
     # ------------------------------------------------------------------
@@ -131,9 +165,13 @@ class ForensicsProbe:
         self.exact.record(packet.flow_id, now, packet.size)
         self.sketch.record(packet.flow_id, now, packet.size)
         self.bursts.on_sample(now, len(self.queue))
+        if self.stream is not None:
+            self.stream.maybe_flush(now)
 
     def _on_dequeue(self, packet: "Packet", now: float) -> None:
         self.bursts.on_sample(now, len(self.queue))
+        if self.stream is not None:
+            self.stream.maybe_flush(now)
 
     def _on_drop(self, packet: "Packet", now: float) -> None:
         self.bursts.on_drop(now, self.queue.last_drop_cause)
@@ -147,11 +185,22 @@ class ForensicsProbe:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-    def finalize(self, end_time: float) -> ForensicsReport:
-        """Close open episodes and assemble the report (idempotent)."""
+    def finalize(
+        self, end_time: float
+    ) -> Union[ForensicsReport, "ForensicsStreamReport"]:
+        """Close open episodes and assemble the report (idempotent).
+
+        Offline mode returns the full :class:`ForensicsReport`; with a
+        stream attached the per-record content has already been
+        emitted, so this flushes the tail and returns the summary-only
+        stream report instead.
+        """
         if self._report is not None:
             return self._report
         episodes = self.bursts.finalize(end_time)
+        if self.stream is not None:
+            self._report = self.stream.finalize(end_time)
+            return self._report
         syncs = self.sync.finalize()
         attributions = build_attributions(
             episodes, syncs, self.exact, self.sketch, self.params

@@ -168,6 +168,34 @@ class ForensicsReport:
         )
 
     @property
+    def burst_rate(self) -> float:
+        """Burst episodes per second of simulated time.
+
+        Finite (0.0 with no bursts) whenever forensics ran at all --
+        the sweep layer uses that as its "forensics present" marker.
+        """
+        if self.duration <= 0:
+            return float("nan")
+        return self.n_bursts / self.duration
+
+    @property
+    def burst_duration_mean(self) -> float:
+        """Mean episode duration in seconds (NaN with no bursts)."""
+        return _mean([b.episode.duration for b in self.bursts])
+
+    @property
+    def burst_drops(self) -> int:
+        """Gateway drops charged to burst episodes."""
+        return sum(b.episode.drops for b in self.bursts)
+
+    @property
+    def sync_linked_fraction(self) -> float:
+        """Fraction of bursts linked to a loss-sync event (NaN if none)."""
+        if not self.bursts:
+            return float("nan")
+        return self.n_sync_linked / self.n_bursts
+
+    @property
     def top_flow(self) -> int:
         """The single heaviest contributor across all burst windows."""
         totals = self._burst_totals()

@@ -1,0 +1,460 @@
+"""Incremental (mid-run) emission of the burst-forensics report.
+
+The offline :class:`~repro.forensics.report.ForensicsReport` is
+assembled once, at finalize, from everything the probe retained.  This
+module emits the same content *during* the run as a JSONL stream with
+two guarantees:
+
+**Prefix consistency.**  Every record carries a deterministic *emit
+key* ``(emit_time, type_rank, tiebreak)``:
+
+* window ``i`` -> ``(window_end(i), 0, i)`` -- a tumbling window is
+  final once sim time passes its right edge;
+* sync event ``s`` -> ``(s.end + 2 * sync_window, 1, s.time)`` -- a
+  cut's coverage depends only on cuts within one window of it, and a
+  closed cluster can still be extended by a covered cut up to one
+  window past its last member, so nothing after ``end + 2W`` can
+  change the cluster;
+* burst ``b`` -> ``(max(end + horizon + 2W, max sync key over syncs
+  with time <= end + horizon), 2, start)`` -- a burst record embeds
+  its sync linkage, so it must outwait every cluster that could still
+  link to it (including one that *started* inside the horizon but
+  keeps growing).
+
+Each checkpoint emits every record that is provably final, sorted by
+key; the runtime finality conditions match the keys exactly, so the
+concatenation of checkpoints is the global key-sorted record list --
+any partial stream file is byte-identical to a prefix of
+:func:`offline_stream_lines` over the finished report (the gated
+differential test in ``tests/test_forensics_stream.py``).
+
+**Bounded memory.**  After a record is emitted its backing state is
+dropped: tumbling windows once no unresolved episode spans them,
+closed episodes at emission, sync events once out of linkage range
+(``lookback``) of every unresolved episode, raw cuts once committed or
+provably uncovered.  Live state is then O(windows per episode span +
+cuts per 2 sync windows), independent of run duration.  Summary
+scalars (the ``forensic_*`` metrics fields) are accumulated in the
+same order the offline report would reduce them, so
+:class:`ForensicsStreamReport` reproduces the offline summary
+bit-for-bit without retaining any of it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.forensics.bursts import BurstEpisode
+from repro.forensics.report import (
+    BurstAttribution,
+    ForensicsReport,
+    _mean,
+    build_attributions,
+)
+from repro.forensics.sync import IncrementalSyncClusterer, SyncEvent
+from repro.forensics.windows import (
+    SketchWindowAccountant,
+    WindowAccountant,
+    precision_at_k,
+    ranked_shares,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.forensics.probe import ForensicsParams, ForensicsProbe
+    from repro.obs.registry import TimeSeries
+
+#: type_rank values: at equal emit_time, windows precede syncs precede
+#: bursts (a burst record may reference a sync with the same key).
+_RANK_WINDOW = 0
+_RANK_SYNC = 1
+_RANK_BURST = 2
+
+EmitKey = Tuple[float, int, float]
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """The one serialization both the stream and the offline replay use."""
+    return json.dumps(record, sort_keys=True)
+
+
+def _params_record(params: "ForensicsParams", n_flows: int) -> Dict[str, Any]:
+    return {"type": "params", "n_flows": n_flows, **params.as_dict()}
+
+
+def _window_record(
+    index: int,
+    exact: WindowAccountant,
+    sketch: SketchWindowAccountant,
+    params: "ForensicsParams",
+) -> Dict[str, Any]:
+    k = params.top_k
+    exact_top = exact.top_k(index, k)
+    sketch_top = sketch.top_k(index, k)
+    return {
+        "type": "window",
+        "window": index,
+        "start": exact.window_start(index),
+        "end": exact.window_start(index + 1),
+        "total_bytes": exact.window_total_bytes(index),
+        "exact_top": [s.as_dict() for s in exact_top],
+        "sketch_top": [s.as_dict() for s in sketch_top],
+        "precision": precision_at_k(
+            ranked_shares(exact.window_counts(index)), sketch_top, k
+        ),
+    }
+
+
+def _sync_record(sync: SyncEvent) -> Dict[str, Any]:
+    return {"type": "sync", **sync.as_dict()}
+
+
+def _burst_record(attribution: BurstAttribution) -> Dict[str, Any]:
+    return {"type": "burst", **attribution.as_dict()}
+
+
+def _window_key(index: int, exact: WindowAccountant) -> EmitKey:
+    return (exact.window_start(index + 1), _RANK_WINDOW, float(index))
+
+
+def _sync_key(sync: SyncEvent, params: "ForensicsParams") -> EmitKey:
+    return (sync.end + 2.0 * params.sync_window, _RANK_SYNC, sync.time)
+
+
+def _burst_key(
+    episode: BurstEpisode,
+    syncs: List[SyncEvent],
+    params: "ForensicsParams",
+) -> EmitKey:
+    """A burst is final only after every linkage-candidate sync is.
+
+    Candidates are syncs with ``time <= end + horizon``; one that keeps
+    growing past the horizon pushes the burst's key to its own, so the
+    burst still sorts (and emits) after it.
+    """
+    deadline = episode.end + params.sync_horizon
+    emit = deadline + 2.0 * params.sync_window
+    for sync in syncs:
+        if sync.time <= deadline:
+            emit = max(emit, sync.end + 2.0 * params.sync_window)
+    return (emit, _RANK_BURST, episode.start)
+
+
+class ForensicsStream:
+    """Checkpointed JSONL emission driven by the probe's hook calls.
+
+    The probe calls :meth:`maybe_flush` from its queue hooks (the only
+    clock forensics already observes -- no simulator events are
+    scheduled, so enabling the stream cannot change
+    ``perf_events_executed``); a flush runs at most once per
+    ``interval`` of sim time.  :meth:`finalize` flushes everything
+    (``now = inf``) and returns the summary report.
+    """
+
+    def __init__(
+        self,
+        probe: "ForensicsProbe",
+        sink: IO[str],
+        interval: float,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("stream interval must be positive")
+        self.probe = probe
+        self.sink = sink
+        self.interval = interval
+        self.next_flush = interval
+        self.records_written = 0
+        self._next_window = 0
+        self._pending: List[BurstEpisode] = []
+        self._syncs: List[SyncEvent] = []
+        self._clusterer = IncrementalSyncClusterer(probe.sync)
+        self._summary = _SummaryAccumulator()
+        self._write(encode_record(_params_record(probe.params, probe.n_flows)))
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _write(self, line: str) -> None:
+        self.sink.write(line + "\n")
+        self.records_written += 1
+
+    def maybe_flush(self, now: float) -> None:
+        if now >= self.next_flush:
+            self.flush(now)
+            self.next_flush = (
+                math.floor(now / self.interval) + 1.0
+            ) * self.interval
+
+    def flush(self, now: float) -> None:
+        """Emit every record final at sim time ``now``, then prune."""
+        probe = self.probe
+        params = probe.params
+        self._pending.extend(probe.bursts.drain_episodes())
+        committed = self._clusterer.commit(now)
+        if committed:
+            self._summary.n_sync_events += len(committed)
+            self._syncs.extend(committed)
+            self._syncs.sort(key=lambda s: s.time)
+
+        batch: List[Tuple[EmitKey, str]] = []
+        emitted_window = self._next_window - 1
+        for index in probe.exact.windows():
+            if index < self._next_window:
+                continue
+            if probe.exact.window_start(index + 1) > now:
+                break
+            batch.append(
+                (
+                    _window_key(index, probe.exact),
+                    encode_record(
+                        _window_record(index, probe.exact, probe.sketch, params)
+                    ),
+                )
+            )
+            emitted_window = index
+        self._next_window = emitted_window + 1
+
+        for sync in committed:
+            batch.append((_sync_key(sync, params), encode_record(_sync_record(sync))))
+
+        min_cut = self._clusterer.min_buffered_time
+        wait = params.sync_horizon + 2.0 * params.sync_window
+        while self._pending:
+            episode = self._pending[0]
+            if not (
+                now > episode.end + wait
+                and min_cut > episode.end + params.sync_horizon
+            ):
+                break
+            attribution = build_attributions(
+                [episode], self._syncs, probe.exact, probe.sketch, params
+            )[0]
+            batch.append(
+                (
+                    _burst_key(episode, self._syncs, params),
+                    encode_record(_burst_record(attribution)),
+                )
+            )
+            self._summary.add_burst(attribution, probe.exact)
+            self._pending.pop(0)
+
+        batch.sort(key=lambda item: item[0])
+        for _, line in batch:
+            self._write(line)
+        self.sink.flush()
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        """Drop state no unresolved episode can reference anymore."""
+        probe = self.probe
+        earliest = now
+        if self._pending:
+            earliest = min(earliest, self._pending[0].start)
+        open_start = probe.bursts.open_start
+        if open_start is not None:
+            earliest = min(earliest, open_start)
+        floor = (
+            probe.exact.window_index(earliest)
+            if math.isfinite(earliest)
+            else self._next_window
+        )
+        for index in list(probe.exact.windows()):
+            if index >= self._next_window or index >= floor:
+                break
+            probe.exact.drop_window(index)
+            probe.sketch.drop_window(index)
+        keep_from = earliest - probe.params.sync_lookback
+        if self._syncs and self._syncs[0].end < keep_from:
+            self._syncs = [s for s in self._syncs if s.end >= keep_from]
+
+    # ------------------------------------------------------------------
+    # Finalize
+    # ------------------------------------------------------------------
+    def finalize(self, end_time: float) -> "ForensicsStreamReport":
+        """Flush everything and build the summary twin of the report.
+
+        The probe must have closed the open episode first
+        (``bursts.finalize``); ``flush(inf)`` then finds every window
+        complete, every cluster committable, and every episode
+        resolvable.
+        """
+        self.flush(math.inf)
+        return ForensicsStreamReport(
+            params=self.probe.params,
+            n_flows=self.probe.n_flows,
+            duration=end_time,
+            n_bursts=self._summary.n_bursts,
+            n_sync_events=self._summary.n_sync_events,
+            n_sync_linked=self._summary.n_sync_linked,
+            precision=self._summary.precision(),
+            burst_seconds=self._summary.duration_sum,
+            burst_duration_mean=self._summary.duration_mean(),
+            burst_drops=self._summary.drops,
+            top_totals=self._summary.totals,
+            records_written=self.records_written,
+        )
+
+
+class _SummaryAccumulator:
+    """Reduces emitted bursts in emission (= offline) order so every
+    float fold matches the offline report exactly."""
+
+    def __init__(self) -> None:
+        self.n_bursts = 0
+        self.n_sync_events = 0
+        self.n_sync_linked = 0
+        self.precision_values: List[float] = []
+        self.duration_sum = 0.0
+        self.duration_values: List[float] = []
+        self.drops = 0
+        self.totals: Dict[int, List[int]] = {}
+
+    def add_burst(
+        self, attribution: BurstAttribution, exact: WindowAccountant
+    ) -> None:
+        self.n_bursts += 1
+        if attribution.sync_linked:
+            self.n_sync_linked += 1
+        self.precision_values.append(attribution.precision)
+        self.duration_sum += attribution.episode.duration
+        self.duration_values.append(attribution.episode.duration)
+        self.drops += attribution.episode.drops
+        for flow, entry in exact.span_counts(*attribution.windows).items():
+            slot = self.totals.setdefault(flow, [0, 0])
+            slot[0] += entry[0]
+            slot[1] += entry[1]
+
+    def precision(self) -> float:
+        return _mean(self.precision_values)
+
+    def duration_mean(self) -> float:
+        return _mean(self.duration_values)
+
+
+@dataclass
+class ForensicsStreamReport:
+    """Summary-only stand-in for :class:`ForensicsReport` after a
+    streamed run: same scalar properties (so metrics extraction and
+    CLI rendering work unchanged), no per-record state (that went out
+    on the stream), no series re-export."""
+
+    params: "ForensicsParams"
+    n_flows: int
+    duration: float
+    n_bursts: int
+    n_sync_events: int
+    n_sync_linked: int
+    precision: float
+    burst_seconds: float
+    burst_duration_mean: float
+    burst_drops: int
+    top_totals: Dict[int, List[int]] = field(default_factory=dict)
+    records_written: int = 0
+
+    @property
+    def burst_time_fraction(self) -> float:
+        if self.duration <= 0:
+            return float("nan")
+        return self.burst_seconds / self.duration
+
+    @property
+    def burst_rate(self) -> float:
+        if self.duration <= 0:
+            return float("nan")
+        return self.n_bursts / self.duration
+
+    @property
+    def sync_linked_fraction(self) -> float:
+        if not self.n_bursts:
+            return float("nan")
+        return self.n_sync_linked / self.n_bursts
+
+    @property
+    def top_flow(self) -> int:
+        if not self.top_totals:
+            return -1
+        return ranked_shares(self.top_totals, 1)[0].flow_id
+
+    @property
+    def top_flow_share(self) -> float:
+        if not self.top_totals:
+            return float("nan")
+        return ranked_shares(self.top_totals, 1)[0].share
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "params": self.params.as_dict(),
+            "n_flows": self.n_flows,
+            "duration": self.duration,
+            "n_bursts": self.n_bursts,
+            "n_sync_events": self.n_sync_events,
+            "n_sync_linked": self.n_sync_linked,
+            "precision_at_k": self.precision,
+            "burst_time_fraction": self.burst_time_fraction,
+            "top_flow": self.top_flow,
+            "top_flow_share": self.top_flow_share,
+            "streamed_records": self.records_written,
+        }
+
+    def to_series(self) -> List[Tuple[str, "TimeSeries"]]:
+        """Per-record series already left on the stream; nothing to re-emit."""
+        return []
+
+    def render(self, top: Optional[int] = None) -> str:
+        lines = [
+            (
+                f"Burst forensics (streamed, {self.records_written} records): "
+                f"{self.n_bursts} burst(s), {self.n_sync_events} sync "
+                f"event(s), {self.n_sync_linked}/{self.n_bursts} sync-linked"
+                if self.n_bursts
+                else "Burst forensics (streamed): no burst episodes detected"
+            )
+        ]
+        if not math.isnan(self.precision):
+            lines.append(
+                f"sketch-vs-exact precision@{self.params.top_k}: "
+                f"{self.precision:.3f} "
+                f"(sketch: {self.params.sketch_capacity} counters)"
+            )
+        lines.append(
+            "per-episode detail is on the stream "
+            "(offline mode keeps it in the report)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Offline replay: the reference the differential test compares against
+# ----------------------------------------------------------------------
+def offline_stream_records(report: ForensicsReport) -> List[Dict[str, Any]]:
+    """The complete record list a streamed run would emit, rebuilt from
+    an offline report: header first, then all records in emit-key
+    order.  Any prefix of a live stream must match a prefix of this."""
+    params = report.params
+    keyed: List[Tuple[EmitKey, Dict[str, Any]]] = []
+    for index in report.exact.windows():
+        keyed.append(
+            (
+                _window_key(index, report.exact),
+                _window_record(index, report.exact, report.sketch, params),
+            )
+        )
+    for sync in report.sync_events:
+        keyed.append((_sync_key(sync, params), _sync_record(sync)))
+    for attribution in report.bursts:
+        keyed.append(
+            (
+                _burst_key(attribution.episode, report.sync_events, params),
+                _burst_record(attribution),
+            )
+        )
+    keyed.sort(key=lambda item: item[0])
+    return [_params_record(params, report.n_flows)] + [
+        record for _, record in keyed
+    ]
+
+
+def offline_stream_lines(report: ForensicsReport) -> List[str]:
+    return [encode_record(record) for record in offline_stream_records(report)]

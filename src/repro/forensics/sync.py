@@ -71,6 +71,13 @@ class LossSyncDetector:
         """Record one flow's multiplicative window cut."""
         self._events.append((time, flow_id))
 
+    def drain_events(self) -> List[Tuple[float, int]]:
+        """Hand the buffered raw cuts over (used by the streaming path,
+        which clusters incrementally instead of at finalize)."""
+        events = self._events
+        self._events = []
+        return events
+
     def finalize(self) -> List[SyncEvent]:
         """Cluster the recorded cuts into synchronization events.
 
@@ -80,66 +87,150 @@ class LossSyncDetector:
         :class:`SyncEvent` each (overlapping qualifying spans merge).
         """
         events = sorted(self._events)
-        n = len(events)
-        if n == 0:
+        if not events:
             return []
         times = [e[0] for e in events]
         flows = [e[1] for e in events]
+        _, clusters = _cover_and_cluster(times, flows, self.window, self.min_flows)
+        return [
+            _cluster_event(times, flows, cluster, self.n_flows)
+            for cluster in clusters
+        ]
 
-        # Sliding window [i..j]: how many distinct flows cut within one
-        # window of event i?  Mark every event inside a qualifying span.
-        covered = [False] * n
-        flow_count: Dict[int, int] = {}
-        distinct = 0
-        j = -1
-        marked_until = -1
-        for i in range(n):
-            while j + 1 < n and times[j + 1] - times[i] <= self.window:
-                j += 1
-                flow = flows[j]
-                flow_count[flow] = flow_count.get(flow, 0) + 1
-                if flow_count[flow] == 1:
-                    distinct += 1
-            if distinct >= self.min_flows:
-                for idx in range(max(i, marked_until + 1), j + 1):
-                    covered[idx] = True
-                covered[i] = True
-                marked_until = max(marked_until, j)
-            flow = flows[i]
-            flow_count[flow] -= 1
-            if flow_count[flow] == 0:
-                distinct -= 1
 
-        # Group covered events into clusters (gap > window splits).
-        clusters: List[List[int]] = []
-        current: List[int] = []
-        for idx in range(n):
-            if not covered[idx]:
-                continue
-            if current and times[idx] - times[current[-1]] > self.window:
-                clusters.append(current)
-                current = [idx]
-            else:
-                current.append(idx)
-        if current:
+def _cover_and_cluster(
+    times: List[float],
+    flows: List[int],
+    window: float,
+    min_flows: int,
+) -> Tuple[List[bool], List[List[int]]]:
+    """The batch clustering core over sorted cut lists.
+
+    Returns per-event coverage flags and the clusters as index lists:
+    an event is covered when some window-wide span containing it holds
+    cuts from at least ``min_flows`` distinct flows, and maximal runs
+    of covered events separated by at most one window form one cluster.
+    """
+    n = len(times)
+    covered = [False] * n
+    flow_count: Dict[int, int] = {}
+    distinct = 0
+    j = -1
+    marked_until = -1
+    for i in range(n):
+        while j + 1 < n and times[j + 1] - times[i] <= window:
+            j += 1
+            flow = flows[j]
+            flow_count[flow] = flow_count.get(flow, 0) + 1
+            if flow_count[flow] == 1:
+                distinct += 1
+        if distinct >= min_flows:
+            for idx in range(max(i, marked_until + 1), j + 1):
+                covered[idx] = True
+            covered[i] = True
+            marked_until = max(marked_until, j)
+        flow = flows[i]
+        flow_count[flow] -= 1
+        if flow_count[flow] == 0:
+            distinct -= 1
+
+    clusters: List[List[int]] = []
+    current: List[int] = []
+    for idx in range(n):
+        if not covered[idx]:
+            continue
+        if current and times[idx] - times[current[-1]] > window:
             clusters.append(current)
+            current = [idx]
+        else:
+            current.append(idx)
+    if current:
+        clusters.append(current)
+    return covered, clusters
 
-        result = []
+
+def _cluster_event(
+    times: List[float],
+    flows: List[int],
+    cluster: List[int],
+    n_flows: int,
+) -> SyncEvent:
+    cluster_flows = tuple(sorted({flows[idx] for idx in cluster}))
+    return SyncEvent(
+        time=times[cluster[0]],
+        end=times[cluster[-1]],
+        flows=cluster_flows,
+        fraction=len(cluster_flows) / n_flows if n_flows else 0.0,
+    )
+
+
+class IncrementalSyncClusterer:
+    """Online twin of :meth:`LossSyncDetector.finalize`.
+
+    Buffers raw cuts and commits a cluster once no future cut can change
+    it.  Coverage of a cut at time ``t`` depends only on cuts within one
+    window of ``t`` (qualifying spans are window-wide), so it is final
+    once ``safe > t + window``; a closed cluster whose last member is at
+    ``t_last`` could still be extended by a covered cut in
+    ``(t_last, t_last + window]``, whose own coverage is final at
+    ``t_last + 2*window`` -- so a cluster commits once
+    ``safe > t_last + 2*window``.  Committed clusters' cuts and
+    established-uncovered cuts older than ``safe - 2*window`` leave the
+    buffer: removing them cannot flip any remaining cut's coverage
+    (covered cuts always leave with their cluster; losing neighbors only
+    keeps uncovered cuts uncovered), so re-running the batch core over
+    the shrinking buffer reproduces the full batch clustering exactly
+    (checked differentially in tests/test_forensics_stream.py).
+    """
+
+    def __init__(self, detector: LossSyncDetector) -> None:
+        self.detector = detector
+        self._buffer: List[Tuple[float, int]] = []
+
+    @property
+    def min_buffered_time(self) -> float:
+        """Earliest undecided cut still buffered (inf when none).
+
+        Any sync event not yet committed must start at or after this
+        time, which is what lets the streaming layer prove a burst's
+        linkage can no longer change.
+        """
+        pending = self.detector._events
+        earliest = float("inf")
+        if self._buffer:
+            earliest = self._buffer[0][0]
+        if pending:
+            earliest = min(earliest, min(t for t, _ in pending))
+        return earliest
+
+    def commit(self, safe: float) -> List[SyncEvent]:
+        """Commit every cluster final before ``safe`` (inf commits all)."""
+        self._buffer.extend(self.detector.drain_events())
+        self._buffer.sort()
+        if not self._buffer:
+            return []
+        window = self.detector.window
+        times = [t for t, _ in self._buffer]
+        flows = [f for _, f in self._buffer]
+        covered, clusters = _cover_and_cluster(
+            times, flows, window, self.detector.min_flows
+        )
+        committed: List[SyncEvent] = []
+        remove = set()
         for cluster in clusters:
-            cluster_flows = tuple(sorted({flows[idx] for idx in cluster}))
-            result.append(
-                SyncEvent(
-                    time=times[cluster[0]],
-                    end=times[cluster[-1]],
-                    flows=cluster_flows,
-                    fraction=(
-                        len(cluster_flows) / self.n_flows
-                        if self.n_flows
-                        else 0.0
-                    ),
+            if safe > times[cluster[-1]] + 2.0 * window:
+                committed.append(
+                    _cluster_event(times, flows, cluster, self.detector.n_flows)
                 )
-            )
-        return result
+                remove.update(cluster)
+        for idx in range(len(times)):
+            if not covered[idx] and safe > times[idx] + 2.0 * window:
+                remove.add(idx)
+        if remove:
+            self._buffer = [
+                cut for idx, cut in enumerate(self._buffer) if idx not in remove
+            ]
+        return committed
 
 
 def link_bursts(

@@ -421,3 +421,110 @@ class TestSweeplog:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert main(["sweeplog", str(empty)]) == 1
+
+
+class TestForensicsStreamFlag:
+    def test_run_streams_prefix_consistent_jsonl(self, tmp_path, capsys):
+        from repro.experiments.config import paper_config
+        from repro.experiments.scenario import run_scenario
+        from repro.forensics import offline_stream_lines
+
+        stream_path = tmp_path / "stream.jsonl"
+        assert main(
+            [
+                "run",
+                "--clients", "8",
+                "--duration", "4",
+                "--seed", "3",
+                "--forensics-stream", str(stream_path),
+                "--forensics-stream-interval", "0.5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forensics stream records" in out
+        offline = run_scenario(
+            paper_config(n_clients=8, duration=4.0, seed=3, forensics=True)
+        )
+        expected = "".join(
+            line + "\n" for line in offline_stream_lines(offline.forensics)
+        )
+        assert stream_path.read_text() == expected
+
+    def test_stream_implies_forensics(self):
+        args = build_parser().parse_args(
+            ["run", "--forensics-stream", "x.jsonl"]
+        )
+        assert args.forensics_stream == "x.jsonl"
+        assert args.forensics_stream_interval == 1.0
+
+
+class TestForensicsSweepFlag:
+    def test_sweep_flag_parses_range_and_default(self):
+        args = build_parser().parse_args(["forensics", "--sweep", "10,20"])
+        assert args.sweep == [10, 20]
+        args = build_parser().parse_args(["forensics", "--sweep"])
+        assert args.sweep == [20, 40, 60]
+        args = build_parser().parse_args(["forensics"])
+        assert args.sweep is None
+
+    def test_sweep_prints_figures(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        assert main(
+            [
+                "forensics",
+                "--sweep", "8,12",
+                "--duration", "3",
+                "--seed", "3",
+                "--processes", "1",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "figF sweep (forensic_burst_rate)" in out
+        assert "figF sweep (forensic_sync_linked_fraction)" in out
+        assert "coefficient of variation" in out
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert set(payload) == {"burst_rate", "sync_linked_fraction", "cov"}
+
+
+class TestSweeplogFollow:
+    def _write_log(self, path):
+        import json
+
+        events = [
+            {"t": 0.0, "event": "sweep_start", "total": 1, "workers": 1,
+             "pool": "persistent", "schedule": "cost"},
+            {"t": 1.0, "event": "task_done", "index": 0, "digest": "a",
+             "label": "reno N=8", "elapsed": 1.0, "attempt": 1,
+             "backend": "packet", "worker": 0, "forensic_bursts": 2,
+             "forensic_sync_linked": 1, "forensic_burst_rate": 0.5,
+             "forensic_sync_linked_fraction": 0.5},
+        ]
+        path.write_text(
+            "".join(json.dumps(event) + "\n" for event in events)
+        )
+
+    def test_follow_non_tty_line_mode(self, capsys, tmp_path):
+        log_path = tmp_path / "run.jsonl"
+        self._write_log(log_path)
+        assert main(
+            [
+                "sweeplog", str(log_path),
+                "--follow", "--interval", "0.01", "--max-updates", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[1/1]" in out
+        assert "bursts=2" in out
+        assert "\x1b[" not in out
+
+    def test_follow_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweeplog", "x.jsonl", "--follow", "--interval", "2",
+             "--max-updates", "5"]
+        )
+        assert args.follow and args.interval == 2.0 and args.max_updates == 5
+        args = build_parser().parse_args(["sweeplog", "x.jsonl"])
+        assert not args.follow

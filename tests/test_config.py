@@ -137,6 +137,7 @@ class TestDigestCompleteness:
         "forensics_burst_enter",
         "forensics_burst_exit",
         "forensics_sync_fraction",
+        "forensics_sketch",
     }
 
     def test_digest_covers_every_physics_field(self):

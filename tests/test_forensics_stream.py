@@ -1,0 +1,542 @@
+"""Streaming forensics, sweep-wide burstiness columns, live dashboard.
+
+The load-bearing guarantee under test: a streamed forensics run must
+write records that are **byte-identical to a prefix** of what offline
+mode would emit at any checkpoint, and the final streamed file must be
+byte-identical to the whole offline emission -- while keeping bounded
+state (windows and episodes are dropped once flushed).  On top of that:
+the sweep-grade ``forensic_*`` columns through metrics, the run log and
+the figures; the count-min sketch variant; and the ``sweeplog
+--follow`` dashboard.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import random
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import paper_config
+from repro.experiments.figures import (
+    figure2_cov,
+    figure_forensics_sweep,
+    run_forensics_sweep,
+)
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.runlog import (
+    RunLog,
+    RunLogTail,
+    follow_runlog,
+    read_runlog,
+    render_runlog_summary,
+    summarize_runlog,
+)
+from repro.experiments.scenario import Scenario, run_scenario
+from repro.experiments.sweep import run_many
+from repro.forensics import (
+    CountMinSketch,
+    IncrementalSyncClusterer,
+    LossSyncDetector,
+    SpaceSavingSketch,
+    offline_stream_lines,
+    recall_at_k,
+)
+from repro.forensics.windows import FlowShare
+
+BASE = dict(n_clients=40, duration=16.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def offline_result():
+    """The seeded droptail dumbbell, offline forensics."""
+    return run_scenario(paper_config(**BASE, forensics=True))
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    """The same scenario streamed: (text, stream report, scenario)."""
+    scenario = Scenario(paper_config(**BASE, forensics=True))
+    sink = io.StringIO()
+    scenario.attach_forensics_stream(sink, interval=1.0)
+    result = scenario.run()
+    return sink.getvalue(), result.forensics, scenario
+
+
+# ----------------------------------------------------------------------
+# Prefix consistency: the tentpole differential
+# ----------------------------------------------------------------------
+class TestPrefixConsistency:
+    def test_final_stream_is_byte_identical_to_offline(
+        self, offline_result, streamed
+    ):
+        text, _, _ = streamed
+        offline = "".join(
+            line + "\n" for line in offline_stream_lines(offline_result.forensics)
+        )
+        assert text == offline
+
+    def test_midrun_stream_is_a_prefix_of_offline(self, offline_result):
+        scenario = Scenario(paper_config(**BASE, forensics=True))
+        sink = io.StringIO()
+        scenario.attach_forensics_stream(sink, interval=1.0)
+        scenario.sim.run(until=8.0)
+        midway = sink.getvalue()
+        offline = "".join(
+            line + "\n" for line in offline_stream_lines(offline_result.forensics)
+        )
+        # The checkpoint must have flushed real content by mid-run, all
+        # of it an exact byte prefix of the offline emission.
+        assert midway
+        assert len(midway) < len(offline)
+        assert offline.startswith(midway)
+        assert any('"type": "burst"' in line for line in midway.splitlines())
+        # Finishing the run completes the identical file.
+        scenario.run()
+        assert sink.getvalue() == offline
+
+    def test_summary_scalars_match_offline_exactly(
+        self, offline_result, streamed
+    ):
+        _, stream_report, _ = streamed
+        offline = offline_result.forensics
+        assert stream_report.n_bursts == offline.n_bursts
+        assert stream_report.n_sync_events == offline.n_sync_events
+        assert stream_report.n_sync_linked == offline.n_sync_linked
+        assert stream_report.records_written > 0
+        # Float summaries fold in emission order, so they must be
+        # bit-identical, not approximately equal.
+        for name in (
+            "precision",
+            "burst_time_fraction",
+            "burst_rate",
+            "burst_duration_mean",
+            "sync_linked_fraction",
+            "top_flow_share",
+        ):
+            assert getattr(stream_report, name) == getattr(offline, name), name
+        assert stream_report.burst_drops == offline.burst_drops
+        assert stream_report.top_flow == offline.top_flow
+
+    def test_streaming_keeps_bounded_state(self, streamed):
+        _, _, scenario = streamed
+        probe = scenario.forensics_probe
+        # Every window was flushed and dropped; no episode backlog.
+        assert probe.exact.windows() == []
+        assert probe.sketch.windows() == []
+        assert probe.bursts.episodes == []
+
+    def test_streaming_does_not_change_physics(self, offline_result, streamed):
+        _, _, scenario = streamed
+        streamed_metrics = ScenarioMetrics.from_result(scenario._collect())
+        offline_metrics = ScenarioMetrics.from_result(offline_result)
+        # NaN-tolerant dataclass equality covers every simulated
+        # outcome, including perf_events_executed.
+        assert streamed_metrics == offline_metrics
+
+    def test_stream_requires_forensics_and_attaches_once(self):
+        scenario = Scenario(paper_config(n_clients=4, duration=1.0))
+        with pytest.raises(ValueError, match="forensics"):
+            scenario.attach_forensics_stream(io.StringIO(), interval=1.0)
+        scenario = Scenario(
+            paper_config(n_clients=4, duration=1.0, forensics=True)
+        )
+        scenario.attach_forensics_stream(io.StringIO(), interval=1.0)
+        with pytest.raises(RuntimeError, match="already"):
+            scenario.attach_forensics_stream(io.StringIO(), interval=1.0)
+
+
+# ----------------------------------------------------------------------
+# Incremental sync clustering: differential vs the batch detector
+# ----------------------------------------------------------------------
+class TestIncrementalClusterer:
+    def _random_cuts(self, rng, n_flows):
+        t = 0.0
+        cuts = []
+        for _ in range(rng.randrange(5, 60)):
+            t += rng.expovariate(2.0)
+            cuts.append((round(t, 4), rng.randrange(n_flows)))
+        return cuts
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_batch_finalize(self, seed):
+        rng = random.Random(seed)
+        n_flows, window = 12, 0.4
+        cuts = self._random_cuts(rng, n_flows)
+
+        batch = LossSyncDetector(n_flows, window, fraction=0.25)
+        for t, flow in cuts:
+            batch.on_loss(flow, t)
+        expected = batch.finalize()
+
+        online = LossSyncDetector(n_flows, window, fraction=0.25)
+        clusterer = IncrementalSyncClusterer(online)
+        committed = []
+        safe = 0.0
+        for t, flow in cuts:
+            online.on_loss(flow, t)
+            if rng.random() < 0.3:
+                safe = max(safe, t - rng.uniform(0.0, 3.0 * window))
+                committed.extend(clusterer.commit(safe))
+        committed.extend(clusterer.commit(math.inf))
+        assert committed == expected
+        assert clusterer.min_buffered_time == math.inf
+
+    def test_commit_is_conservative_before_safe_horizon(self):
+        online = LossSyncDetector(8, 1.0, fraction=0.25)
+        clusterer = IncrementalSyncClusterer(online)
+        for flow in range(4):
+            online.on_loss(flow, 5.0 + 0.1 * flow)
+        # Not final until safe passes t_last + 2*window.
+        assert clusterer.commit(7.0) == []
+        events = clusterer.commit(7.4)
+        assert len(events) == 1
+        assert events[0].n_flows == 4
+
+
+# ----------------------------------------------------------------------
+# Count-min conservative update
+# ----------------------------------------------------------------------
+class TestCountMinSketch:
+    def test_estimates_only_overshoot(self):
+        sketch = CountMinSketch(capacity=8, depth=2, width=8)
+        truth = {}
+        rng = random.Random(1)
+        for _ in range(400):
+            key = rng.randrange(40)
+            weight = rng.randrange(1, 1000)
+            sketch.update(key, weight)
+            truth[key] = truth.get(key, 0) + weight
+        for key, true_weight in truth.items():
+            assert sketch.estimate(key) >= true_weight
+        assert sketch.total_weight == sum(truth.values())
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(capacity=4, depth=2, width=64)
+        sketch.update(3, 100, count=2)
+        sketch.update(3, 50, count=1)
+        assert sketch.estimate(3) == 150
+        assert sketch._count_estimate(3) == 3
+        assert sketch.error(3) == 0
+        assert sketch.guaranteed(3) == 150
+
+    def test_tracked_set_is_capped(self):
+        sketch = CountMinSketch(capacity=3, depth=1, width=128)
+        for key in range(10):
+            sketch.update(key, (key + 1) * 10)
+        assert len(sketch) == 3
+        top = [key for key, _, _, _ in sketch.top_k(3)]
+        assert top == [9, 8, 7]  # heaviest survive eviction churn
+
+    def test_memory_words_model(self):
+        assert CountMinSketch(capacity=40, depth=2, width=48).memory_words() \
+            == 2 * 2 * 48 + 40
+        assert SpaceSavingSketch(58).memory_words() == 4 * 58
+        # The benchmark's equal-memory gate point really is equal.
+        assert CountMinSketch(capacity=40, depth=2, width=48).memory_words() \
+            == SpaceSavingSketch(58).memory_words()
+
+    def test_width_defaults_to_capacity_over_depth(self):
+        sketch = CountMinSketch(capacity=20, depth=2)
+        assert sketch.width == 10
+        with pytest.raises(ValueError):
+            CountMinSketch(capacity=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(capacity=8, depth=5)
+
+    def test_recall_at_k_is_strict(self):
+        exact = [
+            FlowShare(flow_id=i, packets=1, bytes=100 - i, share=0.1)
+            for i in range(5)
+        ]
+        approx = exact[:3] + [
+            FlowShare(flow_id=99, packets=1, bytes=1, share=0.0),
+            FlowShare(flow_id=98, packets=1, bytes=1, share=0.0),
+        ]
+        assert recall_at_k(exact, approx, 5) == pytest.approx(0.6)
+        assert recall_at_k([], approx, 5) == 1.0
+
+    def test_countmin_selectable_via_config(self):
+        config = paper_config(
+            n_clients=8, duration=2.0, seed=3, forensics=True,
+            forensics_sketch="countmin",
+        )
+        scenario = Scenario(config)
+        assert scenario.forensics_probe.sketch.factory is CountMinSketch
+        result = scenario.run()
+        assert result.forensics is not None
+
+    def test_sketch_knob_is_digest_excluded_but_validated(self):
+        base = paper_config(n_clients=8)
+        assert base.config_digest() == base.with_(
+            forensics_sketch="countmin"
+        ).config_digest()
+        with pytest.raises(ValueError, match="forensics sketch"):
+            paper_config(forensics_sketch="bloom").validate()
+
+
+# ----------------------------------------------------------------------
+# Sweep-wide forensics columns
+# ----------------------------------------------------------------------
+class TestSweepColumns:
+    def test_metrics_carry_burst_summary(self, offline_result):
+        metrics = ScenarioMetrics.from_result(offline_result)
+        report = offline_result.forensics
+        assert metrics.forensic_burst_rate == report.burst_rate
+        assert metrics.forensic_burst_duration_mean == \
+            report.burst_duration_mean
+        assert metrics.forensic_sync_linked_fraction == \
+            report.sync_linked_fraction
+        assert 0.0 < metrics.forensic_drop_share <= 1.0
+        # Round-trips through the flat-dict form (cache serialization).
+        again = ScenarioMetrics.from_dict(metrics.as_dict())
+        assert again == metrics
+
+    def test_burst_rate_marks_forensics_presence(self):
+        # Without forensics the marker stays NaN ...
+        plain = run_scenario(paper_config(n_clients=4, duration=1.0, seed=3))
+        assert math.isnan(
+            ScenarioMetrics.from_result(plain).forensic_burst_rate
+        )
+        # ... with forensics it is finite even when nothing bursts.
+        quiet = run_scenario(
+            paper_config(n_clients=4, duration=1.0, seed=3, forensics=True)
+        )
+        assert ScenarioMetrics.from_result(quiet).forensic_burst_rate == 0.0
+
+    def test_runner_logs_forensic_extras(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        config = paper_config(n_clients=8, duration=2.0, seed=3, forensics=True)
+        run_many([config], processes=1, run_log=RunLog(path=path))
+        done = [
+            e for e in read_runlog(path) if e.get("event") == "task_done"
+        ]
+        assert len(done) == 1
+        assert "forensic_bursts" in done[0]
+        assert "forensic_burst_rate" in done[0]
+        # Forensics off -> no forensic keys on the event.
+        path2 = str(tmp_path / "run2.jsonl")
+        run_many(
+            [paper_config(n_clients=8, duration=2.0, seed=3)],
+            processes=1,
+            run_log=RunLog(path=path2),
+        )
+        done2 = [
+            e for e in read_runlog(path2) if e.get("event") == "task_done"
+        ]
+        assert "forensic_bursts" not in done2[0]
+
+    def test_forensics_sweep_backfills_stale_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        base = paper_config(n_clients=10, duration=2.0, seed=3)
+        protocols = {"reno": ("reno", "fifo")}
+        # Seed the cache with a forensics-free run of the same cell
+        # (the forensics knobs are digest-excluded, so it's a hit).
+        stale_config = base.with_(
+            backend="packet", forensics=True, protocol="reno",
+            queue="fifo", n_clients=10,
+        )
+        plain = ScenarioMetrics.from_result(
+            run_scenario(stale_config.with_(forensics=False))
+        )
+        cache.put(stale_config, plain)
+        assert math.isnan(plain.forensic_burst_rate)
+
+        sweep = run_forensics_sweep(
+            client_counts=(10,), base=base, protocols=protocols,
+            processes=1, cache=cache,
+        )
+        refreshed = sweep["reno"][0]
+        assert math.isfinite(refreshed.forensic_burst_rate)
+        # The cache entry was overwritten with the forensic columns.
+        assert math.isfinite(cache.get(stale_config).forensic_burst_rate)
+
+
+# ----------------------------------------------------------------------
+# The sweep figure: the paper's smoothing claim as a grid
+# ----------------------------------------------------------------------
+class TestForensicsSweepFigure:
+    @pytest.fixture(scope="class")
+    def sweep(self, tmp_path_factory):
+        cache = ResultCache(str(tmp_path_factory.mktemp("forensics-sweep")))
+        base = paper_config(duration=16.0, seed=1).with_(buffer_capacity=200)
+        return cache, run_forensics_sweep(
+            client_counts=(20, 40, 50), base=base, processes=1, cache=cache
+        )
+
+    def test_droptail_rises_while_red_stays_flat(self, sweep):
+        _, data = sweep
+        for key in ("reno", "vegas"):
+            rates = [m.forensic_burst_rate for m in data[key]]
+            assert rates == sorted(rates), key  # nondecreasing in N
+            assert rates[-1] > rates[0], key  # and genuinely rising
+        for key in ("reno_red", "vegas_red"):
+            rates = [m.forensic_burst_rate for m in data[key]]
+            assert all(
+                later <= earlier
+                for earlier, later in zip(rates, rates[1:])
+            ), key  # flat or falling
+        # RED ends below droptail: the smoothing claim across the grid.
+        for droptail, red in (("reno", "reno_red"), ("vegas", "vegas_red")):
+            assert data[droptail][-1].forensic_burst_rate > \
+                data[red][-1].forensic_burst_rate
+
+    def test_figure_renders_from_cached_results(self, sweep):
+        cache, data = sweep
+        base = paper_config(duration=16.0, seed=1).with_(buffer_capacity=200)
+        # Same grid again: every cell must be a cache hit (and still
+        # carry the forensic columns a re-render needs).
+        again = run_forensics_sweep(
+            client_counts=(20, 40, 50), base=base, processes=1, cache=cache
+        )
+        for key in data:
+            assert again[key] == data[key]
+        figure = figure_forensics_sweep(again)
+        assert len(figure.series) == 4
+        for xs, ys in figure.series.values():
+            assert xs == [20.0, 40.0, 50.0]
+            assert all(math.isfinite(y) for y in ys)
+        assert "burst" in figure.render_plot()
+        linked = figure_forensics_sweep(
+            again, "forensic_sync_linked_fraction"
+        )
+        assert linked.ylabel == "fraction of bursts sync-linked"
+        # The c.o.v. companion renders from the very same sweep data.
+        cov = figure2_cov(again)
+        assert "Poisson" in cov.series
+
+    def test_unknown_attribute_falls_back_to_its_name(self, sweep):
+        _, data = sweep
+        figure = figure_forensics_sweep(data, "loss_percent")
+        assert figure.ylabel == "loss_percent"
+
+
+# ----------------------------------------------------------------------
+# Run-log aggregation + the live dashboard
+# ----------------------------------------------------------------------
+def _forensic_log_events():
+    return [
+        {"t": 0.0, "event": "sweep_start", "total": 3, "workers": 2,
+         "pool": "persistent", "schedule": "cost"},
+        {"t": 1.0, "event": "task_done", "index": 0, "digest": "a",
+         "label": "reno/fifo N=40", "elapsed": 1.0, "attempt": 1,
+         "backend": "packet", "worker": 0, "forensic_bursts": 5,
+         "forensic_sync_linked": 4, "forensic_burst_rate": 0.3125,
+         "forensic_sync_linked_fraction": 0.8},
+        {"t": 2.0, "event": "task_done", "index": 1, "digest": "b",
+         "label": "reno/red N=40", "elapsed": 0.5, "attempt": 1,
+         "backend": "packet", "worker": 1, "forensic_bursts": 1,
+         "forensic_sync_linked": 0, "forensic_burst_rate": 0.0625,
+         "forensic_sync_linked_fraction": 0.0},
+        {"t": 2.5, "event": "task_done", "index": 2, "digest": "c",
+         "label": "udp N=40", "elapsed": 0.4, "attempt": 1,
+         "backend": "packet", "worker": 0},
+    ]
+
+
+class TestRunlogForensics:
+    def test_summarize_aggregates_forensic_columns(self):
+        summary = summarize_runlog(_forensic_log_events())
+        forensics = summary["forensics"]
+        assert forensics["cells"] == 2  # the udp cell carried none
+        assert forensics["bursts"] == 6
+        assert forensics["sync_linked"] == 4
+        assert forensics["burst_rate_mean"] == pytest.approx(0.1875)
+        assert forensics["sync_linked_fraction_mean"] == pytest.approx(0.4)
+
+    def test_render_summary_and_slowest_columns(self):
+        text = render_runlog_summary(_forensic_log_events())
+        assert "forensics: 6 burst(s), 4 sync-linked across 2 cell(s)" in text
+        assert "bursts" in text and "sync-linked" in text
+        # The cell without forensic columns renders placeholders.
+        assert "-" in text
+
+    def test_render_summary_without_forensics_is_unchanged(self):
+        events = [
+            e for e in _forensic_log_events()
+            if "forensic_bursts" not in e
+        ]
+        assert "forensics:" not in render_runlog_summary(events)
+
+    def test_task_done_skips_nan_fractions(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = RunLog(path=path)
+        log.task_done(
+            0, "d", elapsed=1.0, forensic_bursts=0,
+            forensic_sync_linked=0, forensic_burst_rate=0.0,
+            forensic_sync_linked_fraction=float("nan"),
+        )
+        event = read_runlog(path)[0]
+        assert event["forensic_bursts"] == 0
+        assert event["forensic_burst_rate"] == 0.0
+        assert "forensic_sync_linked_fraction" not in event
+
+
+class TestFollowDashboard:
+    def _write(self, path, events):
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+
+    def test_tail_handles_missing_file_and_torn_lines(self, tmp_path):
+        tail = RunLogTail(str(tmp_path / "absent.jsonl"))
+        assert tail.poll() == []
+        path = str(tmp_path / "log.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "task')
+        tail = RunLogTail(path)
+        assert tail.poll() == []  # torn line buffered, not parsed
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('_done", "index": 0}\n')
+        assert tail.poll() == [{"event": "task_done", "index": 0}]
+
+    def test_non_tty_renders_one_line_per_update(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self._write(path, _forensic_log_events())
+        out = io.StringIO()
+        updates = follow_runlog(
+            path, stream=out, interval=0.0, max_updates=2, tty=False,
+            sleep=lambda _: None,
+        )
+        assert updates == 2
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 1  # no new events -> no repeat line
+        assert "[3/3]" in lines[0]
+        assert "bursts=6" in lines[0]
+        assert "\x1b[" not in out.getvalue()
+
+    def test_tty_mode_repaints_and_stops_on_sweep_end(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        self._write(path, _forensic_log_events())
+
+        def append_end(_):
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps({
+                    "t": 3.0, "event": "sweep_end", "completed": 3,
+                    "failed": 0, "cached": 0, "retried": 0,
+                    "makespan": 3.0, "busy": 1.9, "utilization": 0.32,
+                }) + "\n")
+
+        out = io.StringIO()
+        updates = follow_runlog(
+            path, stream=out, interval=0.0, tty=True, sleep=append_end
+        )
+        assert updates == 2
+        frames = out.getvalue().split("\x1b[H\x1b[2J")
+        assert len(frames) == 3  # leading empty split + 2 frames
+        assert "sweep 3/3 cells" in frames[1]
+        assert "forensics: 6 burst(s)" in frames[1]
+        # The final frame is the full post-run summary.
+        assert "Sweep execution" in frames[2]
+
+    def test_waiting_frame_when_log_does_not_exist_yet(self, tmp_path):
+        out = io.StringIO()
+        updates = follow_runlog(
+            str(tmp_path / "later.jsonl"), stream=out, interval=0.0,
+            max_updates=1, tty=False, sleep=lambda _: None,
+        )
+        assert updates == 1
+        assert "[0/0]" in out.getvalue()
