@@ -25,6 +25,17 @@ Because both schedulers execute the identical event sequence, each cell
 also cross-checks ``events_executed`` between them -- a free
 differential test at benchmark scale.
 
+The second gate in this module compares the two *flow-state engines*
+(``engine="object"`` vs ``engine="batch"``, see ``repro.engine``) on the
+paper's heavy-multiplexing overload regime: 500 clients offering well
+above bottleneck capacity, where the object engine burns most of its
+events on Poisson ticks and per-hop hops that the batch engine fuses
+away.  Event throughput uses the *object* engine's event count as the
+common numerator for both engines (the batch engine executes fewer,
+fused events for the same physics), so the throughput ratio equals the
+end-to-end wall-time ratio.  Both runs are asserted to produce equal
+``ScenarioMetrics`` -- the gate never trades correctness for speed.
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALING_CLIENTS``  -- comma list (default
@@ -35,17 +46,26 @@ Environment knobs:
   kept (default 2).
 * ``REPRO_BENCH_WHEEL_SPEEDUP``    -- minimum wheel/heap scheduler
   throughput ratio at the gate cell (default 2.0; 0 disables the gate).
+* ``REPRO_BENCH_BATCH_SPEEDUP``    -- minimum batch/object end-to-end
+  speedup at the engine gate cell (default 5.0; 0 disables the gate;
+  CI's bench-smoke lane relaxes it to 3.0 for noisy shared runners).
+* ``REPRO_BENCH_BATCH_LARGE_N``    -- when positive, also run the batch
+  engine alone at this client count (e.g. 10000) as an informational
+  row; the object engine is not run there (it would dominate the
+  benchmark's wall time).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, List, Tuple
 
 from repro.analysis.tables import format_table
 from repro.experiments.config import paper_config
-from repro.experiments.scenario import Scenario
+from repro.experiments.results import ScenarioMetrics
+from repro.experiments.scenario import Scenario, run_scenario
 from repro.sim.engine import SCHEDULERS
 
 from conftest import bench_seed, emit
@@ -57,6 +77,20 @@ SCALING_PROTOCOLS: Tuple[Tuple[str, str], ...] = (("udp", "fifo"), ("reno", "fif
 #: The gate cell: Reno/FIFO at 500 clients.
 GATE_CLIENTS = 500
 GATE_PROTOCOL = "reno"
+
+#: The engine gate cell: 500 Reno/FIFO clients each offering a packet
+#: every 50 ms against a 0.8 Mb/s bottleneck -- aggregate offered load
+#: ~100x capacity, the deep-overload regime the paper's burstiness
+#: analysis targets.  Nearly every Poisson tick lands on a backlogged
+#: flow, which is precisely the event class the batch engine's lazy
+#: arrival replay eliminates.
+BATCH_GATE_CLIENTS = 500
+BATCH_GATE_KWARGS = dict(
+    protocol="reno",
+    queue="fifo",
+    mean_gap=0.05,
+    bottleneck_rate_bps=0.8e6,
+)
 
 
 def scaling_clients() -> List[int]:
@@ -74,6 +108,14 @@ def wheel_speedup_floor() -> float:
 
 def scaling_reps() -> int:
     return int(os.environ.get("REPRO_BENCH_SCALING_REPS", "3"))
+
+
+def batch_speedup_floor() -> float:
+    return float(os.environ.get("REPRO_BENCH_BATCH_SPEEDUP", "5.0"))
+
+
+def batch_large_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_BATCH_LARGE_N", "0"))
 
 
 def _run_cell(protocol: str, queue: str, n_clients: int, scheduler: str) -> dict:
@@ -178,6 +220,129 @@ def scaling_table(rows: List[dict]) -> str:
             f"best of {scaling_reps()} (events/sec, higher is better)"
         ),
     )
+
+
+def _run_engine_pair(n_clients: int) -> dict:
+    """Interleaved best-of-``reps`` object-vs-batch timing at one cell.
+
+    Interleaving (object, batch, object, batch, ...) instead of timing
+    each engine's reps back to back keeps slow machine phases (thermal
+    throttling, background load) from landing entirely on one engine.
+    The two runs are asserted to produce equal :class:`ScenarioMetrics`
+    before any number is reported.
+    """
+    config = paper_config(
+        n_clients=n_clients,
+        duration=scaling_duration(),
+        seed=bench_seed(),
+        **BATCH_GATE_KWARGS,
+    )
+    object_config = config.with_(engine="object")
+    batch_config = config.with_(engine="batch")
+    best_object = best_batch = float("inf")
+    object_result = batch_result = None
+    for _ in range(max(scaling_reps(), 1)):
+        start = time.perf_counter()
+        object_result = run_scenario(object_config)
+        best_object = min(best_object, time.perf_counter() - start)
+        start = time.perf_counter()
+        batch_result = run_scenario(batch_config)
+        best_batch = min(best_batch, time.perf_counter() - start)
+    assert ScenarioMetrics.from_result(object_result) == ScenarioMetrics.from_result(
+        batch_result
+    ), f"engines diverged at n_clients={n_clients}"
+    events = object_result.events_executed
+    return {
+        "n_clients": n_clients,
+        "object_events": events,
+        "batch_events": batch_result.events_executed,
+        "object_wall": best_object,
+        "batch_wall": best_batch,
+        # Common numerator: the object engine's event count, so the
+        # throughput ratio is the end-to-end wall-time ratio.
+        "object_events_per_sec": events / best_object if best_object > 0 else 0.0,
+        "batch_events_per_sec": events / best_batch if best_batch > 0 else 0.0,
+        "speedup": best_object / best_batch if best_batch > 0 else float("inf"),
+    }
+
+
+def _run_batch_only(n_clients: int) -> dict:
+    """Informational large-N row: the batch engine without a reference."""
+    config = paper_config(
+        n_clients=n_clients,
+        duration=scaling_duration(),
+        seed=bench_seed(),
+        engine="batch",
+        **BATCH_GATE_KWARGS,
+    )
+    best = float("inf")
+    result = None
+    for _ in range(max(scaling_reps(), 1)):
+        start = time.perf_counter()
+        result = run_scenario(config)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "n_clients": n_clients,
+        "object_events": 0,
+        "batch_events": result.events_executed,
+        "object_wall": float("nan"),
+        "batch_wall": best,
+        "object_events_per_sec": float("nan"),
+        "batch_events_per_sec": result.events_executed / best if best > 0 else 0.0,
+        "speedup": float("nan"),
+    }
+
+
+def batch_table(rows: List[dict]) -> str:
+    """Object-vs-batch wall times and the common-numerator speedup."""
+    table_rows = [
+        [
+            row["n_clients"],
+            row["object_events"],
+            row["batch_events"],
+            round(row["object_wall"], 3),
+            round(row["batch_wall"], 3),
+            round(row["speedup"], 2),
+        ]
+        for row in rows
+    ]
+    return format_table(
+        [
+            "clients",
+            "object events",
+            "batch events",
+            "object wall s",
+            "batch wall s",
+            "speedup",
+        ],
+        table_rows,
+        title=(
+            f"Flow-state engines at the overload cell "
+            f"(reno/fifo, gap=50ms, bottleneck=0.8Mb/s), "
+            f"{scaling_duration():g}s simulated, best of {scaling_reps()}"
+        ),
+    )
+
+
+def test_batch_engine_speedup():
+    """The batch engine's acceptance gate at the overload cell.
+
+    Asserts the batch engine reproduces the object engine's
+    ``ScenarioMetrics`` exactly *and* runs at least
+    ``REPRO_BENCH_BATCH_SPEEDUP`` times faster end to end.
+    """
+    rows = [_run_engine_pair(BATCH_GATE_CLIENTS)]
+    large = batch_large_n()
+    if large > 0:
+        rows.append(_run_batch_only(large))
+    emit(batch_table(rows))
+    floor = batch_speedup_floor()
+    if floor > 0:
+        speedup = rows[0]["speedup"]
+        assert speedup >= floor, (
+            f"batch engine at {BATCH_GATE_CLIENTS} clients is "
+            f"{speedup:.2f}x the object engine, below the {floor:g}x floor"
+        )
 
 
 def test_engine_scaling_wheel_speedup():

@@ -1,0 +1,680 @@
+"""The fused-event batch scenario driver (``engine="batch"``).
+
+:class:`BatchScenario` runs the same physics as
+:class:`repro.experiments.scenario.Scenario` -- the same dumbbell
+arithmetic, the same bottleneck queue objects, the same sinks, monitors
+and probes -- but collapses the object engine's per-hop event graph into
+a handful of fused events per delivered packet:
+
+* **Access-hop fusion.**  A client's access link never drops within the
+  batch envelope (in-flight is bounded by the advertised window, far
+  below the 1000-packet access queue), so its store-and-forward chain
+  ``enqueue -> pull -> finish -> receive`` reduces to per-flow busy-time
+  arithmetic: ``start = max(now, busy); finish = start + tx`` -- the
+  exact additions :class:`repro.net.link.Interface` performs -- and one
+  ``GW_ARRIVAL`` event at ``finish + delay``.
+* **Reverse-path fusion.**  ACKs cannot queue on the reverse path when
+  ``packet_size >= 40`` bytes and ``client_rate >= bottleneck_rate``
+  (ACK spacing is bounded below by the data serialization time, which
+  bounds the ACK serialization time above), so the four reverse hops
+  become four sequential float additions, guarded at runtime: a strictly
+  busy reverse link raises :class:`~repro.sim.engine.SimulationError`
+  instead of silently diverging from the object engine.
+* **Inline sink processing (open loop).**  With no application objects
+  at the server, the sink's ACK generation commutes with any event
+  between the gateway transmission and the server delivery time, so the
+  sink runs inline under a virtual clock.  Closed-loop (RPC) runs keep a
+  real ``SERVER_ARRIVAL`` event because workload unit-timeouts may fire
+  in that window.
+* **Lazy Poisson arrivals.**  A per-flow arrival event is armed only
+  while the flow has no send-buffer backlog.  A backlogged flow's
+  window is shut (``send_much`` drains until window or buffer runs
+  out), so its ticks are pure bookkeeping; they are replayed -- with
+  their original timestamps, consuming the same per-flow RNG stream --
+  at the next event that touches the flow ("catch-up", always first in
+  a handler).  This removes the dominant event class of the object
+  engine at large N.
+* **Timer cohort.**  Retransmit deadlines live in one numpy array; a
+  single lazily-maintained horizon event fires the due cohort and
+  reschedules at the new minimum.
+
+Per-flow TCP state lives in :class:`repro.engine.flowbatch.FlowBatch`;
+metric collection is shared verbatim with the object engine
+(``Scenario._collect``), so both engines produce the same
+:class:`ScenarioResult` shape from the same attribute names.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from math import log as _log
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.base import AppWorkload
+from repro.apps.rpc import RpcClientWorkload
+from repro.engine.flowbatch import FLOW_BATCHES, VegasFlowBatch
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.scenario import Scenario, ScenarioResult
+from repro.forensics.probe import ForensicsParams, ForensicsProbe
+from repro.net.monitor import ArrivalMonitor, FlowArrivalMonitor
+from repro.net.packet import Packet, PacketFactory
+from repro.obs.engineprof import EngineProfiler
+from repro.obs.probes import FlowProbe, QueueProbe
+from repro.obs.registry import NULL_REGISTRY, MetricRegistry
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.rng import RandomStreams
+from repro.traffic.recorder import OfferedTrafficRecorder
+from repro.transport.sink import TcpSink
+from repro.transport.vegas import VegasParams
+
+_INF = float("inf")
+
+#: Poisson gaps pre-drawn per refill (identical draws to the object
+#: engine's one-per-tick ``expovariate``; only the batching differs,
+#: which the per-flow dedicated RNG stream makes unobservable).
+ARRIVAL_CHUNK = 64
+
+#: Priority class for the timer-cohort horizon: in the object engine a
+#: retransmit timer is pushed a full RTO (>= min_rto) before it fires,
+#: which is earlier than any same-time network event's push (the
+#: envelope requires min_rto > client_delay), so at a time tie the
+#: timer's seq is smaller and it runs first.
+_PRIO_TIMER = -2
+
+
+class _SinkClock:
+    """Settable ``.now`` facade standing in for the Simulator.
+
+    The sinks only read ``sim.now`` (their delayed-ACK timer is not
+    constructed when ``delayed_ack=False``), so the driver can run them
+    inline at a virtual server-arrival time.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class _BatchServerNode:
+    """Node facade for the sinks: collects emitted ACKs for routing."""
+
+    __slots__ = ("name", "agents", "outbox")
+
+    def __init__(self) -> None:
+        self.name = "server"
+        self.agents: Dict[int, object] = {}
+        self.outbox: List[Packet] = []
+
+    def bind_flow(self, flow_id: int, agent) -> None:
+        self.agents[flow_id] = agent
+
+    def send(self, packet: Packet) -> None:
+        self.outbox.append(packet)
+
+
+class _BatchSenderView:
+    """Per-flow facade over the FlowBatch arrays.
+
+    Quacks like a TCP sender for the pieces the rest of the system
+    touches: ``.stats`` / ``.cwnd_log`` for metric collection and
+    ``.app_arrival`` as the workload agent interface.
+    """
+
+    __slots__ = ("_scenario", "flow_id")
+
+    def __init__(self, scenario: "BatchScenario", flow_id: int) -> None:
+        self._scenario = scenario
+        self.flow_id = flow_id
+
+    @property
+    def stats(self):
+        return self._scenario.flows.stats[self.flow_id]
+
+    @property
+    def cwnd_log(self):
+        return self._scenario.flows.cwnd_log[self.flow_id]
+
+    @property
+    def cwnd(self) -> float:
+        return float(self._scenario.flows.cwnd[self.flow_id])
+
+    @property
+    def ssthresh(self) -> float:
+        return float(self._scenario.flows.ssthresh[self.flow_id])
+
+    def app_arrival(self, n_packets: int = 1) -> None:
+        scenario = self._scenario
+        scenario.flows.app_arrival(self.flow_id, n_packets, scenario.sim.now)
+
+
+class BatchScenario:
+    """A fully wired batch-engine simulation, ready to run.
+
+    Exposes the same attribute surface as :class:`Scenario` (``sim``,
+    ``monitor``, ``senders``, ``sinks``, ``apps``, ``flow_probes``,
+    ``queue_probe``, ``profiler``, ``forensics_probe``, ``network``)
+    so metric collection and the obs bundle are shared verbatim.
+    """
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        config.validate()
+        config.validate_batch_engine()
+        self.config = config
+        self.sim = Simulator(scheduler=config.scheduler)
+        self.streams = RandomStreams(config.seed)
+
+        if config.obs_trace:
+            self.registry = MetricRegistry(categories=config.obs_trace)
+        else:
+            self.registry = NULL_REGISTRY
+        self.flow_probes: Dict[int, FlowProbe] = {}
+        self.queue_probe: Optional[QueueProbe] = None
+        self.profiler: Optional[EngineProfiler] = None
+        if config.obs_profile:
+            self.profiler = EngineProfiler()
+
+        # --- physics constants (exact Interface expressions) -----------
+        n = config.n_clients
+        self._client_rate = float(config.client_rate_bps)
+        self._bn_rate = float(config.bottleneck_rate_bps)
+        self._client_delay = config.client_delay
+        self._bn_delay = config.bottleneck_delay
+        self._open_mode = config.workload == "open"
+        self._mean_gap = config.mean_gap
+        self._duration = config.duration
+        self._client_names = [f"client-{i}" for i in range(n)]
+
+        factory = PacketFactory()
+        self.packet_factory = factory
+        # Shared with the object engine verbatim; it reads
+        # ``params.buffer_capacity``, which this class exposes.
+        queue = Scenario._make_bottleneck_queue(self, self, None)
+        self.bottleneck_queue = queue
+        # Duck-typed stand-in for Scenario's DumbbellNetwork: metric
+        # collection only dereferences ``network.bottleneck_queue``.
+        self.network = self
+
+        # Instrumentation, registered in Scenario's construction order
+        # (gateway monitor, flow monitor, queue probe, forensics).
+        self.monitor = ArrivalMonitor(
+            bin_width=config.effective_bin_width, start_time=config.warmup
+        )
+        self._gw_send_hooks = [self.monitor.on_packet]
+        queue.add_drop_hook(self.monitor.on_drop)
+
+        self.offered_recorder: Optional[OfferedTrafficRecorder] = None
+        if config.record_offered:
+            self.offered_recorder = OfferedTrafficRecorder(start_time=config.warmup)
+
+        self.flow_monitor: Optional[FlowArrivalMonitor] = None
+        if config.record_flow_arrivals:
+            self.flow_monitor = FlowArrivalMonitor(start_time=config.warmup)
+            self._gw_send_hooks.append(self.flow_monitor.on_packet)
+
+        self.senders: List[_BatchSenderView] = []
+        self.sinks: List[TcpSink] = []
+        self.sources: List = []  # batch flows are all TCP; kept for shape
+        self.apps: List[AppWorkload] = []
+        self.bsp_coordinator = None
+        if self.registry.enabled("queue") or self.registry.enabled("drops"):
+            self.queue_probe = QueueProbe(
+                self.registry,
+                queue,
+                sample_interval=config.obs_queue_sample_interval,
+            )
+        self.forensics_probe: Optional[ForensicsProbe] = None
+        if config.forensics:
+            self.forensics_probe = ForensicsProbe(
+                ForensicsParams.from_config(config),
+                n_flows=config.n_clients,
+                queue=queue,
+                sketch_kind=config.forensics_sketch,
+            )
+
+        # --- per-flow transport state ----------------------------------
+        self._busy_fwd = [0.0] * n  # client->gateway access serializer
+        self._busy_rev_client = [0.0] * n  # gateway->client ACK serializer
+        self._busy_rev_server = 0.0  # server->gateway ACK serializer
+        self._bn_busy = False
+
+        # Same-time tie-breaking (see DESIGN.md section 15).  The object
+        # engine orders simultaneous events FIFO by scheduling order;
+        # each object-engine event is pushed a fixed lag before it
+        # fires, so ties between different event classes resolve by
+        # comparing lags (larger lag scheduled first).  The batch engine
+        # pushes its fused events at different moments, so it encodes
+        # the object engine's outcome as a priority class instead:
+        #  * bottleneck enqueue (lag = access propagation delay) vs
+        #    dequeue (lag = bottleneck serialization time): whichever
+        #    lag is larger runs first -- validate_batch_engine rejects
+        #    exact equality;
+        #  * retransmit timers (lag = RTO >= min_rto, envelope-checked
+        #    to exceed the access delay) precede every same-time
+        #    network event.
+        # Ties within one class keep FIFO order automatically: both
+        # engines process the originating sends in the same order, so
+        # the batch engine pushes same-class events in the object
+        # engine's relative order.
+        tx_bn = config.packet_size * 8.0 / self._bn_rate
+        self._prio_txdone = -1 if tx_bn > self._client_delay else 0
+        self._prio_arrival = -1 if self._client_delay > tx_bn else 0
+
+        # Timer-cohort horizon (lazy: <= every armed rtx deadline).
+        self._horizon_time = _INF
+        self._horizon_event = None
+        # Arming order, for firing same-deadline cohorts in the order
+        # the object engine's per-flow timer events would sort (each
+        # Timer.start is a fresh push, so ties resolve by last-arm
+        # order, not flow index).
+        self._arm_seq = [0] * n
+        self._arm_counter = 0
+
+        # Poisson arrival machinery (open loop): chunk-buffered pre-draws
+        # plus an armed-arrival cohort sharing one horizon event, so the
+        # heap stays a handful of entries regardless of N.
+        self._arr_rng = [
+            self.streams.stream(f"client-{i}/poisson") for i in range(n)
+        ] if self._open_mode else []
+        self._arr_buf: List[List[float]] = [[] for _ in range(n)]
+        self._arr_pos = [0] * n
+        self._arr_last = [0.0] * n  # last drawn absolute arrival time
+        self._armed_at = np.full(n if self._open_mode else 0, _INF)
+        self._arr_horizon_time = _INF
+        self._arr_horizon_event = None
+
+        self._build_flows()
+        self.sim.set_arg_recycler(Packet, factory.recycle)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @property
+    def buffer_capacity(self) -> int:
+        # _make_bottleneck_queue (shared with Scenario) reads
+        # ``params.buffer_capacity``; we pass ourselves as params.
+        return self.config.buffer_capacity
+
+    def _build_flows(self) -> None:
+        config = self.config
+        batch_cls = FLOW_BATCHES[config.protocol]
+        kwargs = {}
+        if batch_cls is VegasFlowBatch:
+            kwargs["vegas_params"] = VegasParams(
+                alpha=config.vegas_alpha,
+                beta=config.vegas_beta,
+                gamma=config.vegas_gamma,
+            )
+        self.flows = batch_cls(
+            config.n_clients,
+            Scenario._tcp_params(self),
+            driver=self,
+            trace_flows=config.trace_cwnd_flows,
+            **kwargs,
+        )
+        if self.forensics_probe is not None:
+            self.flows.forensics = self.forensics_probe
+
+        self._server_node = _BatchServerNode()
+        self._sink_clock = _SinkClock()
+        registry = self.registry
+        probe_flows = (
+            registry.enabled("cwnd")
+            or registry.enabled("rtt")
+            or registry.enabled("state")
+        )
+        for index in range(config.n_clients):
+            view = _BatchSenderView(self, index)
+            sink = TcpSink(
+                self._sink_clock,
+                self._server_node,
+                index,
+                self._client_names[index],
+                self.packet_factory,
+                delayed_ack=False,
+                ack_delay=config.ack_delay,
+                sack=False,
+            )
+            if probe_flows:
+                self.flow_probes[index] = self.flows.attach_probe(
+                    index, FlowProbe(registry, index)
+                )
+            if self._open_mode:
+                # Lazy arrival: arm the first Poisson arrival (the flow
+                # starts with an empty send buffer).
+                self._armed_at[index] = self._peek_arrival(index)
+            else:
+                app = RpcClientWorkload(
+                    self.sim,
+                    view,
+                    sink,
+                    rng=self.streams.stream(f"client-{index}/app"),
+                    request_packets=config.rpc_request_packets,
+                    response_delay=config.reverse_path_delay(
+                        config.rpc_response_packets
+                    ),
+                    think_time=config.rpc_think_time,
+                    outstanding=config.rpc_outstanding,
+                    name=f"rpc-{index}",
+                    unit_timeout=config.workload_timeout,
+                )
+                if self.offered_recorder is not None:
+                    self.offered_recorder.attach(app)
+                app.start(at=0.0, stop_at=config.duration)
+                self.apps.append(app)
+            self.senders.append(view)
+            self.sinks.append(sink)
+        if self._open_mode and config.n_clients:
+            self.flows.next_arrival[:] = self._armed_at
+            self._aim_arrival_horizon(float(self._armed_at.min()))
+
+    # ------------------------------------------------------------------
+    # FlowBatch driver interface
+    # ------------------------------------------------------------------
+    def mint_data(self, i: int, seqno: int, now: float, is_retransmit: bool):
+        return self.packet_factory.data(
+            flow_id=i,
+            src=self._client_names[i],
+            dst="server",
+            size=self.config.packet_size,
+            seqno=seqno,
+            now=now,
+            is_retransmit=is_retransmit,
+            ecn_capable=self.flows.params.ecn,
+        )
+
+    def transmit(self, i: int, packet: Packet, now: float) -> None:
+        """Client access hop, fused: the exact Interface arithmetic."""
+        busy = self._busy_fwd[i]
+        start = busy if busy > now else now
+        finish = start + packet.size * 8.0 / self._client_rate
+        self._busy_fwd[i] = finish
+        self.sim.schedule_at(
+            finish + self._client_delay,
+            self._gw_arrival,
+            packet,
+            priority=self._prio_arrival,
+        )
+
+    def timer_arm(self, i: int, deadline: float) -> None:
+        self.flows.rtx_deadline[i] = deadline
+        self._arm_seq[i] = self._arm_counter
+        self._arm_counter += 1
+        if self._horizon_event is None or deadline < self._horizon_time:
+            if self._horizon_event is not None:
+                self._horizon_event.cancel()
+            self._horizon_time = deadline
+            self._horizon_event = self.sim.schedule_at(
+                deadline, self._timer_fire, priority=_PRIO_TIMER
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _gw_arrival(self, packet: Packet) -> None:
+        now = self.sim.now
+        for hook in self._gw_send_hooks:
+            hook(packet, now)
+        if self.bottleneck_queue.enqueue(packet, now) and not self._bn_busy:
+            self._bn_pull(now)
+
+    def _bn_pull(self, now: float) -> None:
+        packet = self.bottleneck_queue.dequeue(now)
+        if packet is None:
+            return
+        self._bn_busy = True
+        self.sim.schedule_at(
+            now + packet.size * 8.0 / self._bn_rate,
+            self._gw_tx_done,
+            packet,
+            priority=self._prio_txdone,
+        )
+
+    def _gw_tx_done(self, packet: Packet) -> None:
+        now = self.sim.now
+        arrival = now + self._bn_delay
+        if self._open_mode:
+            # No server-side application: sink processing commutes with
+            # everything between now and the delivery time, so run it
+            # inline under a virtual clock.  Guard on the horizon: the
+            # object engine only delivers when the server-arrival event
+            # actually executes, i.e. at times <= duration.
+            if arrival <= self._duration:
+                self._deliver_at_server(packet, arrival)
+        else:
+            # Closed loop: workload unit-timeouts may fire in this
+            # window, so the delivery needs a real event.
+            self.sim.schedule_at(arrival, self._server_arrival, packet)
+        self._bn_busy = False
+        if len(self.bottleneck_queue):
+            self._bn_pull(now)
+
+    def _server_arrival(self, packet: Packet) -> None:
+        self._deliver_at_server(packet, self.sim.now)
+
+    def _deliver_at_server(self, packet: Packet, arrival: float) -> None:
+        self._sink_clock.now = arrival
+        self.sinks[packet.flow_id].receive(packet)
+        outbox = self._server_node.outbox
+        if outbox:
+            for ack in outbox:
+                self._route_ack(ack, arrival)
+            outbox.clear()
+
+    def _route_ack(self, ack: Packet, now: float) -> None:
+        """Reverse path, fused: four sequential additions, no queueing
+        possible within the validated envelope (guarded, not assumed)."""
+        if self._busy_rev_server > now:
+            raise SimulationError(
+                "batch engine invariant violated: reverse bottleneck busy "
+                f"until {self._busy_rev_server} > ACK arrival {now}"
+            )
+        tx_server = ack.size * 8.0 / self._bn_rate
+        self._busy_rev_server = now + tx_server
+        at_gateway = (now + tx_server) + self._bn_delay
+        i = ack.flow_id
+        if self._busy_rev_client[i] > at_gateway:
+            raise SimulationError(
+                "batch engine invariant violated: reverse access link busy "
+                f"until {self._busy_rev_client[i]} > ACK arrival {at_gateway}"
+            )
+        tx_client = ack.size * 8.0 / self._client_rate
+        self._busy_rev_client[i] = at_gateway + tx_client
+        self.sim.schedule_at(
+            (at_gateway + tx_client) + self._client_delay, self._ack_arrival, ack
+        )
+
+    def _ack_arrival(self, ack: Packet) -> None:
+        now = self.sim.now
+        i = ack.flow_id
+        self._catch_up(i, now)
+        self.flows.on_ack(i, ack.ackno, now)
+        self._rearm_arrival(i)
+
+    def _timer_fire(self) -> None:
+        now = self.sim.now
+        self._horizon_event = None
+        self._horizon_time = _INF
+        flows = self.flows
+        deadlines = flows.rtx_deadline
+        # Fire same-deadline flows in arming order, matching the seq
+        # order of the object engine's per-flow timer events.
+        due = sorted(
+            (int(index) for index in (deadlines <= now).nonzero()[0]),
+            key=self._arm_seq.__getitem__,
+        )
+        for i in due:
+            deadlines[i] = _INF
+            self._catch_up(i, now)
+            flows.on_timeout(i, now)
+            self._rearm_arrival(i)
+        # Re-aim at the earliest remaining deadline (timer_arm calls in
+        # the loop may already have armed a nearer horizon).
+        earliest = float(deadlines.min())
+        if earliest < _INF and (
+            self._horizon_event is None or earliest < self._horizon_time
+        ):
+            if self._horizon_event is not None:
+                self._horizon_event.cancel()
+            self._horizon_time = earliest
+            self._horizon_event = self.sim.schedule_at(
+                earliest, self._timer_fire, priority=_PRIO_TIMER
+            )
+
+    # ------------------------------------------------------------------
+    # Lazy Poisson arrivals
+    # ------------------------------------------------------------------
+    def _refill(self, i: int) -> None:
+        buf = self._arr_buf[i]
+        pos = self._arr_pos[i]
+        if pos:
+            del buf[:pos]
+            self._arr_pos[i] = 0
+        uniform = self._arr_rng[i].random
+        inv_gap = 1.0 / self._mean_gap
+        t = self._arr_last[i]
+        append = buf.append
+        for _ in range(ARRIVAL_CHUNK):
+            # random.Random.expovariate inlined verbatim: the same
+            # ``-log(1 - random()) / lambd`` expression on the same
+            # dedicated per-flow stream as PoissonSource._next_gap, so
+            # the times are bit-identical to the object engine's.
+            t += -_log(1.0 - uniform()) / inv_gap
+            append(t)
+        self._arr_last[i] = t
+
+    def _peek_arrival(self, i: int) -> float:
+        if self._arr_pos[i] >= len(self._arr_buf[i]):
+            self._refill(i)
+        return self._arr_buf[i][self._arr_pos[i]]
+
+    def _emit_arrival(self, i: int, at: float) -> None:
+        # Mirrors TrafficSource._emit: recorder hook, then app_arrival.
+        if self.offered_recorder is not None:
+            self.offered_recorder.on_generate(at, 1)
+        self.flows.app_arrival(i, 1, at)
+
+    def _catch_up(self, i: int, now: float) -> None:
+        """Replay this flow's pending Poisson arrivals up to ``now``.
+
+        Always the first action in any handler touching flow ``i``, so
+        the flow's send buffer and stats are current before any policy
+        runs, and re-arming afterwards picks an arrival ``> now``.
+
+        While the flow is backlogged its window is shut (the lazy
+        invariant: nothing between two events for flow ``i`` can open
+        it), so every deferred arrival's send_much would be a no-op --
+        those are replayed in one bulk bookkeeping call.  Only an
+        arrival landing on an *empty* send buffer (the armed-event
+        case) takes the full app_arrival path and may transmit.
+        """
+        if not self._open_mode:
+            return
+        buf = self._arr_buf[i]
+        pos = self._arr_pos[i]
+        flows = self.flows
+        bulk = None
+        while True:
+            if pos >= len(buf):
+                # _refill compacts the consumed prefix, so publish the
+                # local cursor before it runs.
+                self._arr_pos[i] = pos
+                self._refill(i)
+                pos = self._arr_pos[i]
+            at = buf[pos]
+            if at > now:
+                break
+            # Once backlogged, the window stays shut for the rest of
+            # the replay (emissions only deepen the backlog), so every
+            # remaining pending arrival is bulk bookkeeping: take them
+            # a sorted-chunk slice at a time.
+            if bulk is None and flows.backlog(i) == 0:
+                pos += 1
+                self._emit_arrival(i, at)
+                continue
+            cut = bisect_right(buf, now, pos)
+            seg = buf[pos:cut]
+            bulk = seg if bulk is None else bulk + seg
+            pos = cut
+        self._arr_pos[i] = pos
+        flows.next_arrival[i] = at
+        if bulk is not None:
+            if self.offered_recorder is not None:
+                self.offered_recorder.on_generate_many(bulk)
+            flows.app_arrival_bulk(i, bulk)
+
+    def _aim_arrival_horizon(self, at: float) -> None:
+        if at >= _INF or (
+            self._arr_horizon_event is not None and at >= self._arr_horizon_time
+        ):
+            return
+        if self._arr_horizon_event is not None:
+            self._arr_horizon_event.cancel()
+        self._arr_horizon_time = at
+        self._arr_horizon_event = self.sim.schedule_at(at, self._arrival_fire)
+
+    def _arrival_fire(self) -> None:
+        # Armed-arrival cohort: one horizon event serves every idle
+        # flow, exactly as the timer cohort serves the rtx deadlines.
+        # Poisson times across independent streams never tie, so each
+        # fire almost surely serves one flow -- the same time/priority
+        # the per-flow event would have had.
+        now = self.sim.now
+        self._arr_horizon_event = None
+        self._arr_horizon_time = _INF
+        armed = self._armed_at
+        flows = self.flows
+        due = (armed <= now).nonzero()[0]
+        for index in due:
+            i = int(index)
+            armed[i] = _INF
+            self._catch_up(i, now)
+            # Inline re-arm without aiming: one aim at the cohort
+            # minimum below replaces a cancel/push pair per flow.
+            if flows.backlog(i) == 0:
+                at = self._peek_arrival(i)
+                flows.next_arrival[i] = at
+                armed[i] = at
+        self._aim_arrival_horizon(float(armed.min()))
+
+    def _rearm_arrival(self, i: int) -> None:
+        if (
+            not self._open_mode
+            or self._armed_at[i] < _INF
+            or self.flows.backlog(i) != 0
+        ):
+            return
+        at = self._peek_arrival(i)
+        self.flows.next_arrival[i] = at
+        self._armed_at[i] = at
+        self._aim_arrival_horizon(at)
+
+    # ------------------------------------------------------------------
+    # Execution (collection shared verbatim with the object engine)
+    # ------------------------------------------------------------------
+    attach_forensics_stream = Scenario.attach_forensics_stream
+    obs_bundle = Scenario.obs_bundle
+    _collect = Scenario._collect
+
+    def run(self) -> ScenarioResult:
+        """Run to the configured duration and collect all metrics."""
+        config = self.config
+        if self.profiler is not None:
+            self.sim.attach_profiler(self.profiler)
+        start = time.perf_counter()
+        try:
+            self.sim.run(until=config.duration)
+            # Backlogged (lazy) flows still owe their bookkeeping ticks
+            # up to the horizon; the object engine executed those as
+            # real events.  Their send_much is a no-op (window shut).
+            if self._open_mode:
+                for i in range(config.n_clients):
+                    self._catch_up(i, config.duration)
+        finally:
+            wall_time = time.perf_counter() - start
+            if self.profiler is not None:
+                self.sim.detach_profiler()
+        return self._collect(wall_time)

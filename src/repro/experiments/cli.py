@@ -132,6 +132,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="engine scheduler: the reference binary heap (default) or "
         "the large-N timer-wheel fast path; results are identical",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["object", "batch"],
+        default=None,
+        help="flow-state engine: per-flow objects (default) or the "
+        "struct-of-arrays batch engine with fused transport events; "
+        "results are identical inside the batch envelope "
+        "(reno/vegas, open poisson or rpc, packet backend)",
+    )
     parser.add_argument("--processes", type=int, default=None, help="worker count")
     parser.add_argument(
         "--jobs",
@@ -292,6 +301,8 @@ def _base_config(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if getattr(args, "scheduler", None) is not None:
         overrides["scheduler"] = args.scheduler
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
     overrides.update(_workload_overrides(args))
@@ -393,11 +404,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         forensics=bool(getattr(args, "forensics", False)) or bool(stream_path),
     )
     stream = None
+    if args.trace_file and config.engine == "batch":
+        print(
+            "error: --trace-file requires the object engine (the batch "
+            "engine fuses the bottleneck interface's per-hop events away); "
+            "drop --engine batch to record an ns-2 trace",
+            file=sys.stderr,
+        )
+        return 2
     if args.obs_dir or args.trace_file or stream_path:
         # Build the scenario by hand so pre-run attachments (the ns
         # tracefile writer, the forensics stream) and post-run exports
         # can reach inside it.
-        scenario = Scenario(config)
+        if config.engine == "batch":
+            from repro.engine.batch import BatchScenario
+
+            scenario = BatchScenario(config)
+        else:
+            scenario = Scenario(config)
         trace_handle = None
         stream_handle = None
         if args.trace_file:
@@ -462,8 +486,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         n_clients=args.clients,
         obs_profile=True,
     )
-    scenario = Scenario(config)
-    result = scenario.run()
+    result = run_scenario(config)
     profile = result.obs.engine if result.obs is not None else None
     assert profile is not None  # obs_profile=True guarantees it
     print(

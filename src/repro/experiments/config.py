@@ -56,6 +56,11 @@ _DIGEST_EXCLUDED_FIELDS = frozenset(
         # (tests/test_engine_differential.py), so results cached under
         # one are valid under the other.
         "scheduler",
+        # Likewise the flow-state engine: the batch engine produces
+        # bit-identical ScenarioMetrics, obs and forensics streams on
+        # every supported cell (tests/test_batch_differential.py), so
+        # results cached under one engine are valid under the other.
+        "engine",
     }
 )
 
@@ -225,6 +230,15 @@ class ScenarioConfig:
     # events in the exact same order, so every ScenarioMetrics value is
     # identical either way -- the knob trades wall-clock time only.
     scheduler: str = "heap"
+
+    # Flow-state engine: "object" (one sender object per flow, the
+    # differential reference) or "batch" (struct-of-arrays FlowBatch
+    # with fused transport events; see repro.engine).  Digest-excluded
+    # for the same reason as ``scheduler``: the batch engine is pinned
+    # bit-identical to the object engine on every cell it accepts
+    # (tests/test_batch_differential.py), so it trades wall-clock time
+    # only.  The batch envelope is checked in validate_batch_engine().
+    engine: str = "object"
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -419,8 +433,83 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; choose from {SCHEDULERS}"
             )
+        from repro.engine import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.engine == "batch":
+            self.validate_batch_engine()
         if self.protocol == "reno_ecn" and self.queue == "fifo":
             raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")
+
+    def validate_batch_engine(self) -> None:
+        """Raise ValueError when the batch engine cannot pin this cell.
+
+        The struct-of-arrays engine fuses the access hop and the reverse
+        ACK path into closed-form arithmetic; those fusions are only
+        bit-identical to the object engine inside this envelope
+        (see DESIGN.md section 15).  Outside it, refuse loudly rather
+        than silently diverge from the differential reference.
+        """
+        if self.protocol not in ("reno", "vegas"):
+            raise ValueError(
+                "the batch engine supports reno/vegas only; "
+                f"got protocol {self.protocol!r}"
+            )
+        if self.workload not in ("open", "rpc"):
+            raise ValueError(
+                "the batch engine supports open/rpc workloads only; "
+                f"got workload {self.workload!r}"
+            )
+        if self.workload == "open" and self.traffic != "poisson":
+            raise ValueError(
+                "the batch engine models poisson open-loop sources only; "
+                f"got traffic {self.traffic!r}"
+            )
+        if self.pacing:
+            raise ValueError("the batch engine does not model pacing")
+        if self.backend != "packet":
+            raise ValueError("engine='batch' applies to the packet backend")
+        if self.client_rate_bps < self.bottleneck_rate_bps:
+            raise ValueError(
+                "the batch engine assumes access links at least as fast "
+                "as the bottleneck (no reverse-path queueing)"
+            )
+        if self.packet_size < 40:
+            raise ValueError(
+                "the batch engine assumes data packets no smaller than "
+                "ACKs (packet_size >= 40)"
+            )
+        if self.advertised_window >= 1000:
+            raise ValueError(
+                "the batch engine assumes the access queue never "
+                "overflows (advertised_window < 1000)"
+            )
+        # Same-time tie-breaking (DESIGN.md section 15): the object
+        # engine orders simultaneous events by scheduling order, which
+        # for the two events that contend for the bottleneck queue --
+        # an arriving packet's enqueue and the transmitter's dequeue --
+        # reduces to comparing two config constants: each event is
+        # pushed a fixed lag before it fires (the access propagation
+        # delay and the bottleneck serialization time respectively).
+        # The batch engine replicates that order with a priority class,
+        # which requires the comparison to be decidable.
+        if self.packet_size * 8.0 / self.bottleneck_rate_bps == self.client_delay:
+            raise ValueError(
+                "the batch engine cannot replicate the object engine's "
+                "tie-break when the bottleneck serialization time equals "
+                "the access propagation delay exactly; perturb "
+                "packet_size, bottleneck_rate_bps or client_delay"
+            )
+        if self.min_rto <= self.client_delay:
+            raise ValueError(
+                "the batch engine assumes retransmit timers are armed "
+                "further ahead than the access propagation delay "
+                "(min_rto > client_delay), so a timer always precedes a "
+                "same-time ACK arrival, as it does in the object engine"
+            )
 
     def with_(self, **overrides) -> "ScenarioConfig":
         """A copy with the given fields replaced."""

@@ -34,10 +34,15 @@ class ScenarioMetrics:
     """
 
     #: Wall-clock-dependent telemetry: nondeterministic between
-    #: identical runs, so excluded from __eq__/__hash__.
+    #: identical runs, so excluded from __eq__/__hash__.  The event
+    #: count joins them because it measures the engine, not the
+    #: physics: the batch engine fuses several object-engine events
+    #: into one, so identical simulated outcomes legitimately differ
+    #: in events executed (tests/test_batch_differential.py).
     _WALL_CLOCK_FIELDS = frozenset(
         {
             "perf_wall_time",
+            "perf_events_executed",
             "perf_events_per_sec",
             "perf_sim_wall_ratio",
             "perf_peak_rss_kb",

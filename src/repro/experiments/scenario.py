@@ -58,7 +58,7 @@ from repro.transport.reno import RenoSender
 from repro.transport.sack import SackSender
 from repro.transport.sink import TcpSink, UdpSink
 from repro.transport.tahoe import TahoeSender
-from repro.transport.tcp_base import TcpParams, TcpSender
+from repro.transport.tcp_base import TcpParams, TcpSender, TcpSenderStats
 from repro.transport.udp import UdpSender
 from repro.transport.vegas import VegasParams, VegasSender
 
@@ -526,7 +526,9 @@ class Scenario:
         for index, (sender, sink) in enumerate(zip(self.senders, self.sinks)):
             delivered = sink.stats.unique_packets
             delivered_total += delivered
-            if isinstance(sender, TcpSender):
+            # Duck-typed so the batch engine's per-flow views (which
+            # expose the same TcpSenderStats) summarize identically.
+            if isinstance(getattr(sender, "stats", None), TcpSenderStats):
                 stats = sender.stats
                 timeouts += stats.timeouts
                 fast_retransmits += stats.fast_retransmits
@@ -638,10 +640,18 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     Dispatches on ``config.backend``: the discrete-event packet engine
     (default) or the mean-field fluid solver
     (:func:`repro.core.fluid_backend.run_fluid_scenario`), both
-    returning the same :class:`ScenarioResult` shape.
+    returning the same :class:`ScenarioResult` shape.  Within the
+    packet backend, ``config.engine`` selects the per-flow object
+    engine (default) or the vectorized flow-batch engine
+    (:class:`repro.engine.batch.BatchScenario`), which is pinned
+    bit-identical by tests/test_batch_differential.py.
     """
     if config.backend == "fluid":
         from repro.core.fluid_backend import run_fluid_scenario
 
         return run_fluid_scenario(config)
+    if config.engine == "batch":
+        from repro.engine.batch import BatchScenario
+
+        return BatchScenario(config).run()
     return Scenario(config).run()

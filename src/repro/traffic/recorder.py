@@ -36,6 +36,17 @@ class OfferedTrafficRecorder:
         self.total += n_packets
         self.times.extend([time] * n_packets)
 
+    def on_generate_many(self, times: List[float]) -> None:
+        """Record one packet per time; same filter as :meth:`on_generate`.
+
+        The batch engine replays a backlogged flow's deferred arrivals
+        in one call instead of one hook invocation per packet.
+        """
+        start = self.start_time
+        kept = [t for t in times if t >= start]
+        self.total += len(kept)
+        self.times.extend(kept)
+
     def bin_counts(self, bin_width: float, until: Optional[float] = None) -> np.ndarray:
         """Per-bin generation counts over ``[start_time, until)``."""
         if bin_width <= 0:

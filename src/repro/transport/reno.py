@@ -12,6 +12,7 @@ paper ties to Reno's induced burstiness (Section 3.4).
 
 from __future__ import annotations
 
+from repro.engine import transitions
 from repro.transport.tcp_base import TcpSender
 
 
@@ -44,7 +45,7 @@ class RenoSender(TcpSender):
         if self.in_recovery:
             # Window inflation: every duplicate ACK signals a packet has
             # left the network, so one more may enter.
-            self.set_cwnd(self.cwnd + 1.0)
+            self.set_cwnd(transitions.reno_recovery_inflation(self.cwnd))
             self.send_much()
             return
         if self.dupacks == self.DUPACK_THRESHOLD:
@@ -68,6 +69,6 @@ class RenoSender(TcpSender):
         # Retransmit the hole, then inflate by the three dupacks already seen.
         self.output(self.last_ack + 1)
         self._rtt_seq = None  # Karn: never time a retransmission
-        self.set_cwnd(self.ssthresh + 3.0)
+        self.set_cwnd(transitions.reno_fast_recovery_entry_cwnd(self.ssthresh))
         self.rtx_timer.restart(self.rto)
         self.send_much()

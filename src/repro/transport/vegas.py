@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.engine import transitions
 from repro.transport.tcp_base import TcpSender
 
 
@@ -104,11 +105,7 @@ class VegasSender(TcpSender):
     # ------------------------------------------------------------------
     def queue_estimate(self, rtt: float) -> float:
         """Estimated packets this flow keeps queued at the bottleneck."""
-        if not math.isfinite(self.base_rtt) or rtt <= 0:
-            return 0.0
-        expected = self.window() / self.base_rtt
-        actual = self.window() / rtt
-        return (expected - actual) * self.base_rtt
+        return transitions.vegas_queue_estimate(self.window(), self.base_rtt, rtt)
 
     def _per_rtt_adjustment(self, rtt) -> None:
         if rtt is None or rtt <= 0 or not math.isfinite(self.base_rtt):
@@ -120,26 +117,31 @@ class VegasSender(TcpSender):
             if diff > vegas.gamma:
                 self.in_slow_start = False
                 self.note_state("slowstart_exit")
-                self.set_cwnd(max(self.MIN_CWND, self.cwnd * self.SS_EXIT_SHRINK))
+                self.set_cwnd(
+                    transitions.vegas_ss_exit_window(
+                        self.cwnd, self.MIN_CWND, self.SS_EXIT_SHRINK
+                    )
+                )
             elif self._ss_grow_this_epoch:
-                self.set_cwnd(self.cwnd * 2.0)
+                self.set_cwnd(transitions.vegas_ss_grow_window(self.cwnd))
                 self._ss_grow_this_epoch = False
             else:
                 self._ss_grow_this_epoch = True
             return
-        if diff < vegas.alpha:
-            self.set_cwnd(self.cwnd + 1.0)
-        elif diff > vegas.beta:
-            self.set_cwnd(max(self.MIN_CWND, self.cwnd - 1.0))
+        self.set_cwnd(
+            transitions.vegas_ca_next(
+                self.cwnd, diff, vegas.alpha, vegas.beta, self.MIN_CWND
+            )
+        )
 
     # ------------------------------------------------------------------
     # Loss recovery
     # ------------------------------------------------------------------
     def _fine_timeout(self) -> float:
         """Fine-grained expiry (no coarse tick rounding, no backoff)."""
-        if self.srtt is None:
-            return self.params.initial_rto
-        return self.srtt + 4.0 * self.rttvar
+        return transitions.vegas_fine_timeout(
+            self.srtt, self.rttvar, self.params.initial_rto
+        )
 
     def _vegas_retransmit(self) -> None:
         missing = self.last_ack + 1
@@ -161,5 +163,9 @@ class VegasSender(TcpSender):
         if now - self._last_reduction_time > self.rtt_estimate():
             self._last_reduction_time = now
             self.in_slow_start = False
-            self.set_cwnd(max(self.MIN_CWND, self.cwnd * self.LOSS_SHRINK))
+            self.set_cwnd(
+                transitions.vegas_loss_window(
+                    self.cwnd, self.MIN_CWND, self.LOSS_SHRINK
+                )
+            )
         self.rtx_timer.restart(self.rto)

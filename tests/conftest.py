@@ -4,10 +4,12 @@
 def pytest_addoption(parser):
     parser.addoption(
         "--update-goldens",
+        "--regen-goldens",  # alias; see tests/goldens/README.md
         action="store_true",
         default=False,
         help=(
             "rewrite tests/goldens/*.json from the current code instead of "
-            "comparing against them (review the diff before committing)"
+            "comparing against them (review the diff before committing; "
+            "see tests/goldens/README.md for when regeneration is legitimate)"
         ),
     )

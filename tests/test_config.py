@@ -130,6 +130,7 @@ class TestDigestCompleteness:
         "obs_profile",
         "obs_queue_sample_interval",
         "scheduler",
+        "engine",
         "forensics",
         "forensics_window",
         "forensics_top_k",

@@ -37,7 +37,7 @@ MATRIX = [
 ]
 
 
-def _differential_config(protocol, queue, workload, scheduler):
+def _differential_config(protocol, queue, workload, scheduler, **overrides):
     # Small but congested: a 0.4 Mb/s bottleneck keeps 3 senders in
     # loss/retransmission territory so the schedulers are exercised on
     # cancels, timers, and queue dynamics, not just happy-path sends.
@@ -50,6 +50,7 @@ def _differential_config(protocol, queue, workload, scheduler):
         seed=11,
         bottleneck_rate_bps=0.4e6,
         scheduler=scheduler,
+        **overrides,
     )
 
 
@@ -77,6 +78,31 @@ def test_schedulers_produce_identical_results(protocol, queue, workload):
     # the same order -- the strongest equivalence the scenario exposes.
     assert heap_trace == wheel_trace
     assert heap_trace  # the cell actually pushed traffic through
+
+
+# Buffer depth moves the loss pattern between the three regimes the
+# paper sweeps -- shallow (drop-dominated), the paper default, and deep
+# (delay-dominated) -- and with it the mix of cancels and timer churn
+# the schedulers must agree on.  Both queue disciplines are swept: RED's
+# averaged occupancy makes its drop decisions state-dependent in a way
+# droptail's are not.
+@pytest.mark.parametrize("queue", ["fifo", "red"])
+@pytest.mark.parametrize("buffer_capacity", [20, 50, 200])
+def test_schedulers_identical_across_buffer_depths(buffer_capacity, queue):
+    runs = {
+        scheduler: _run_with_trace(
+            _differential_config(
+                "reno", queue, "open", scheduler, buffer_capacity=buffer_capacity
+            )
+        )
+        for scheduler in SCHEDULERS
+    }
+    heap_metrics, heap_events, heap_trace = runs["heap"]
+    wheel_metrics, wheel_events, wheel_trace = runs["wheel"]
+    assert heap_events == wheel_events
+    assert heap_metrics == wheel_metrics
+    assert heap_trace == wheel_trace
+    assert heap_trace
 
 
 def test_scheduler_does_not_change_config_digest():
