@@ -172,6 +172,11 @@ class FluidSolver:
         self._to_return = 0.0
         self._to_entry = 0.0
         self._tau_now = min_rto
+        #: Exogenous arrival rate (packets/s) added to the aggregate the
+        #: queue sees -- the hybrid backend's foreground feedback term.
+        #: The default 0.0 is exact (x + 0.0 is bit-identical for the
+        #: non-negative aggregate), so pure-fluid runs are unchanged.
+        self.extra_arrival = 0.0
 
     # ------------------------------------------------------------------
     def loss_probability(self, q: float, v: float, arrival_rate: float) -> float:
@@ -213,7 +218,7 @@ class FluidSolver:
         """
         qc = min(max(q, 0.0), self.B)
         r, rtt = self.rates(qc)
-        arrival = self.n * float(r @ m)
+        arrival = self.n * float(r @ m) + self.extra_arrival
         p = self.loss_probability(qc, v, arrival)
         accepted = arrival * (1.0 - p)
         dq = accepted - self.C
@@ -270,82 +275,110 @@ class FluidSolver:
         return dm, dz, dq, arrival, p, accepted, float(h_stay.sum())
 
     # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Reset state for incremental stepping (see :meth:`step_once`).
+
+        :meth:`run` is ``begin()`` followed by ``steps`` calls to
+        ``step_once()``; the hybrid backend interleaves those steps with
+        the discrete-event engine instead, adjusting
+        :attr:`extra_arrival` between coupling intervals.  The split
+        preserves the exact float-operation order of the original
+        monolithic loop, so pure-fluid trajectories are unchanged.
+        """
+        self._m = np.zeros(self.M)
+        self._m[0] = 1.0  # every flow starts at w = 1 (slow start from cold)
+        self._z, self._q, self._v = 0.0, 0.0, 0.0
+        steps = int(round(self.duration / self.dt))
+        self.steps = steps
+        self._t_arr = np.empty(steps)
+        self._A_arr = np.empty(steps)
+        self._q_arr = np.empty(steps)
+        self._p_arr = np.empty(steps)
+        self._s_arr = np.empty(steps)
+        self._w_arr = np.empty(steps)
+        self._z_arr = np.empty(steps)
+        self._fr_arr = np.empty(steps)
+        self._to_arr = np.empty(steps)
+        self._p_hist = np.zeros(steps + 1)
+        self._q_hist = np.zeros(steps + 1)
+        self._in_hist = np.zeros(steps + 1)
+        self._to_return = 0.0
+        self.step_index = 0
+
+    def step_once(self) -> None:
+        """Advance the system by one RK4 step of width ``dt``."""
+        i = self.step_index
+        m, z, q, v = self._m, self._z, self._q, self._v
+        rtt_now = self.rtt_prop + q / self.C
+        lag = max(int(round(rtt_now / self.dt)), 1)
+        j = max(i - lag, 0)
+        p_fb, q_fb = self._p_hist[j], self._q_hist[j]
+        # RK4 on (m, z, q); the RED average uses an exact EWMA
+        # sub-step afterwards (operator splitting keeps the slow
+        # average from stiffening the stage equations).
+        k1 = self.rhs(m, z, q, v, p_fb, q_fb)
+        k2 = self.rhs(m + 0.5 * self.dt * k1[0], z + 0.5 * self.dt * k1[1],
+                      q + 0.5 * self.dt * k1[2], v, p_fb, q_fb)
+        k3 = self.rhs(m + 0.5 * self.dt * k2[0], z + 0.5 * self.dt * k2[1],
+                      q + 0.5 * self.dt * k2[2], v, p_fb, q_fb)
+        k4 = self.rhs(m + self.dt * k3[0], z + self.dt * k3[1],
+                      q + self.dt * k3[2], v, p_fb, q_fb)
+        m = m + self.dt / 6.0 * (k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0])
+        z = z + self.dt / 6.0 * (k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1])
+        q = q + self.dt / 6.0 * (k1[2] + 2 * k2[2] + 2 * k3[2] + k4[2])
+        # Projection: clip and renormalize so (m, z) stays a
+        # probability distribution and q stays in the buffer.
+        m = np.maximum(m, 0.0)
+        q = min(max(q, 0.0), self.B)
+        z = min(max(z, 0.0), 1.0)
+        total = m.sum() + z
+        if total > 0:
+            m /= total
+            z /= total
+        arrival, p, accepted = k1[3], k1[4], k1[5]
+        self._p_hist[i] = p
+        self._q_hist[i] = q
+        self._in_hist[i] = self._to_entry
+        # Timeout returns: mass that entered z between 0.5 tau and
+        # 1.5 tau ago comes back now (spread return kernel -- the
+        # coarse 500 ms timers quantize individual RTOs, but backoff
+        # state disperses them across about one tau).
+        lag_lo = max(int(round(0.5 * self._tau_now / self.dt)), 1)
+        lag_hi = max(int(round(1.5 * self._tau_now / self.dt)), lag_lo + 1)
+        jlo, jhi = max(i - lag_hi, 0), max(i - lag_lo, 0)
+        self._to_return = (
+            float(self._in_hist[jlo:jhi].mean()) if jhi > jlo and i >= lag_lo else 0.0
+        )
+        if self.queue == "red":
+            k = self.red_weight * max(arrival, 1e-9)
+            v = q + (v - q) * math.exp(-k * self.dt)
+        self._t_arr[i] = i * self.dt
+        self._A_arr[i] = arrival
+        self._q_arr[i] = q
+        self._p_arr[i] = p
+        self._z_arr[i] = z
+        self._s_arr[i] = self.C if q > 1e-9 else min(accepted, self.C)
+        self._fr_arr[i] = k1[6]
+        self._to_arr[i] = self._to_entry
+        act = m.sum()
+        self._w_arr[i] = float(self.w @ m) / act if act > 0 else 1.0
+        self._m, self._z, self._q, self._v = m, z, q, v
+        self.step_index = i + 1
+
+    def trajectory(self) -> Dict[str, np.ndarray]:
+        """The trajectory arrays accumulated so far (run() returns the
+        full-duration view; a hybrid run reads it after the last step)."""
+        self._final_m, self._final_z = self._m, self._z
+        return dict(t=self._t_arr, A=self._A_arr, q=self._q_arr,
+                    p=self._p_arr, s=self._s_arr, w=self._w_arr,
+                    z=self._z_arr, fr=self._fr_arr, to=self._to_arr)
+
     def run(self) -> Dict[str, np.ndarray]:
         """Integrate to ``duration``; returns the trajectory arrays."""
-        m = np.zeros(self.M)
-        m[0] = 1.0  # every flow starts at w = 1 (slow start from cold)
-        z, q, v = 0.0, 0.0, 0.0
-        steps = int(round(self.duration / self.dt))
-        t_arr = np.empty(steps)
-        A_arr = np.empty(steps)
-        q_arr = np.empty(steps)
-        p_arr = np.empty(steps)
-        s_arr = np.empty(steps)
-        w_arr = np.empty(steps)
-        z_arr = np.empty(steps)
-        fr_arr = np.empty(steps)
-        to_arr = np.empty(steps)
-        p_hist = np.zeros(steps + 1)
-        q_hist = np.zeros(steps + 1)
-        in_hist = np.zeros(steps + 1)
-        self._to_return = 0.0
-        for i in range(steps):
-            rtt_now = self.rtt_prop + q / self.C
-            lag = max(int(round(rtt_now / self.dt)), 1)
-            j = max(i - lag, 0)
-            p_fb, q_fb = p_hist[j], q_hist[j]
-            # RK4 on (m, z, q); the RED average uses an exact EWMA
-            # sub-step afterwards (operator splitting keeps the slow
-            # average from stiffening the stage equations).
-            k1 = self.rhs(m, z, q, v, p_fb, q_fb)
-            k2 = self.rhs(m + 0.5 * self.dt * k1[0], z + 0.5 * self.dt * k1[1],
-                          q + 0.5 * self.dt * k1[2], v, p_fb, q_fb)
-            k3 = self.rhs(m + 0.5 * self.dt * k2[0], z + 0.5 * self.dt * k2[1],
-                          q + 0.5 * self.dt * k2[2], v, p_fb, q_fb)
-            k4 = self.rhs(m + self.dt * k3[0], z + self.dt * k3[1],
-                          q + self.dt * k3[2], v, p_fb, q_fb)
-            m = m + self.dt / 6.0 * (k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0])
-            z = z + self.dt / 6.0 * (k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1])
-            q = q + self.dt / 6.0 * (k1[2] + 2 * k2[2] + 2 * k3[2] + k4[2])
-            # Projection: clip and renormalize so (m, z) stays a
-            # probability distribution and q stays in the buffer.
-            m = np.maximum(m, 0.0)
-            q = min(max(q, 0.0), self.B)
-            z = min(max(z, 0.0), 1.0)
-            total = m.sum() + z
-            if total > 0:
-                m /= total
-                z /= total
-            arrival, p, accepted = k1[3], k1[4], k1[5]
-            p_hist[i] = p
-            q_hist[i] = q
-            in_hist[i] = self._to_entry
-            # Timeout returns: mass that entered z between 0.5 tau and
-            # 1.5 tau ago comes back now (spread return kernel -- the
-            # coarse 500 ms timers quantize individual RTOs, but backoff
-            # state disperses them across about one tau).
-            lag_lo = max(int(round(0.5 * self._tau_now / self.dt)), 1)
-            lag_hi = max(int(round(1.5 * self._tau_now / self.dt)), lag_lo + 1)
-            jlo, jhi = max(i - lag_hi, 0), max(i - lag_lo, 0)
-            self._to_return = (
-                float(in_hist[jlo:jhi].mean()) if jhi > jlo and i >= lag_lo else 0.0
-            )
-            if self.queue == "red":
-                k = self.red_weight * max(arrival, 1e-9)
-                v = q + (v - q) * math.exp(-k * self.dt)
-            t_arr[i] = i * self.dt
-            A_arr[i] = arrival
-            q_arr[i] = q
-            p_arr[i] = p
-            z_arr[i] = z
-            s_arr[i] = self.C if q > 1e-9 else min(accepted, self.C)
-            fr_arr[i] = k1[6]
-            to_arr[i] = self._to_entry
-            act = m.sum()
-            w_arr[i] = float(self.w @ m) / act if act > 0 else 1.0
-        self._final_m, self._final_z = m, z
-        return dict(t=t_arr, A=A_arr, q=q_arr, p=p_arr, s=s_arr, w=w_arr,
-                    z=z_arr, fr=fr_arr, to=to_arr)
+        self.begin()
+        while self.step_index < self.steps:
+            self.step_once()
+        return self.trajectory()
 
     # ------------------------------------------------------------------
     def summarize(self, traj: Dict[str, np.ndarray], bin_width: float,

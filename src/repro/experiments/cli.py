@@ -59,19 +59,24 @@ from repro.experiments.config import WORKLOADS, paper_config, table1_rows
 from repro.experiments.figures import (
     FLUID_CLIENT_COUNTS,
     FORENSICS_CLIENT_COUNTS,
+    HYBRID_CLIENT_COUNTS,
     LARGEN_CLIENT_COUNTS,
     FigureData,
     cwnd_trace_experiment,
     figure2_cov,
     figure3_throughput,
+    figure3_throughput_per_flow,
+    figure4_drops_per_flow,
     figure4_loss,
     figure13_timeout_ratio,
     figure_burst_attribution,
     figure_fluid_cov,
     figure_forensics_sweep,
+    figure_hybrid_cov,
     figure_largen_cov,
     run_fluid_sweep,
     run_forensics_sweep,
+    run_hybrid_sweep,
     run_largen_sweep,
     run_protocol_sweep,
 )
@@ -119,11 +124,36 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="root RNG seed")
     parser.add_argument(
         "--backend",
-        choices=["packet", "fluid"],
+        choices=["packet", "fluid", "hybrid"],
         default=None,
         help="scenario solver: the discrete-event packet engine "
-        "(default) or the mean-field fluid limit (reno/vegas x "
-        "fifo/red, cost independent of client count)",
+        "(default), the mean-field fluid limit (reno/vegas x "
+        "fifo/red, cost independent of client count), or the hybrid "
+        "co-simulation (K packet-exact foreground flows against the "
+        "fluid background)",
+    )
+    parser.add_argument(
+        "--hybrid-foreground",
+        type=int,
+        default=None,
+        metavar="K",
+        help="hybrid backend: packet-exact foreground flows (default 10)",
+    )
+    parser.add_argument(
+        "--hybrid-background",
+        type=int,
+        default=None,
+        metavar="N_BG",
+        help="hybrid backend: fluid background flows "
+        "(default 0 = the ambient remainder, clients - K)",
+    )
+    parser.add_argument(
+        "--hybrid-coupling-dt",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hybrid backend: fluid/packet coupling interval "
+        "(default 0 = every RK4 step)",
     )
     parser.add_argument(
         "--scheduler",
@@ -305,6 +335,12 @@ def _base_config(args: argparse.Namespace):
         overrides["engine"] = args.engine
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
+    if getattr(args, "hybrid_foreground", None) is not None:
+        overrides["hybrid_foreground_flows"] = args.hybrid_foreground
+    if getattr(args, "hybrid_background", None) is not None:
+        overrides["hybrid_background_flows"] = args.hybrid_background
+    if getattr(args, "hybrid_coupling_dt", None) is not None:
+        overrides["hybrid_coupling_dt"] = args.hybrid_coupling_dt
     overrides.update(_workload_overrides(args))
     return paper_config(**overrides)
 
@@ -659,6 +695,31 @@ def _cmd_fluid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    """The hybrid c.o.v. sweep: K packet-exact foreground flows against
+    ambient fluid backgrounds out to N=10^6, plus the per-flow
+    throughput/drop analogues of Figures 3 and 4."""
+    base = _base_config(args)
+    foreground = args.hybrid_foreground or base.hybrid_foreground_flows
+    sweep = run_hybrid_sweep(
+        args.clients,
+        base=base,
+        foreground=foreground,
+        processes=args.processes,
+        **_runner_kwargs(args),
+    )
+    _emit_figure(figure_hybrid_cov(sweep, base, foreground=foreground), args)
+    for figure in (
+        figure3_throughput_per_flow(sweep),
+        figure4_drops_per_flow(sweep),
+    ):
+        print()
+        print(figure.render_plot())
+        print()
+        print(figure.render_table())
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     """Regenerate every sweep-derived paper artifact into a directory."""
     import os
@@ -834,6 +895,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(fluid_parser)
 
+    hybrid_parser = sub.add_parser(
+        "hybrid",
+        help="hybrid c.o.v. sweep: packet-exact foreground flows "
+        "against fluid ambient load out to N=1e6",
+    )
+    hybrid_parser.add_argument(
+        "--clients",
+        type=parse_range,
+        default=list(HYBRID_CLIENT_COUNTS),
+        help="ambient client counts, as start:stop:step or a comma list",
+    )
+    _add_common(hybrid_parser)
+
     cwnd_parser = sub.add_parser("cwnd", help="congestion-window traces (Figures 5-12)")
     cwnd_parser.add_argument("--protocol", default="reno")
     cwnd_parser.add_argument("--queue", default="fifo")
@@ -969,6 +1043,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig13": _cmd_sweep_figure,
         "largen": _cmd_largen,
         "fluid": _cmd_fluid,
+        "hybrid": _cmd_hybrid,
         "cwnd": _cmd_cwnd,
         "all": _cmd_all,
         "replicate": _cmd_replicate,

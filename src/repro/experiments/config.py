@@ -25,7 +25,12 @@ from typing import Any, Dict, List, Optional, Tuple
 #: joins the digest, and ScenarioMetrics records which backend produced
 #: each row; pre-backend cache entries are retired wholesale rather
 #: than being silently reinterpreted as packet results.
-CONFIG_SCHEMA_VERSION = 4
+#: v5: the hybrid fluid/packet backend and its digest-included knobs
+#: (``hybrid_foreground_flows``, ``hybrid_background_flows``,
+#: ``hybrid_coupling_dt``); hybrid metrics are foreground-scoped
+#: (``ScenarioMetrics.measured_flows``), so records from schema-v4 code
+#: must not satisfy v5 lookups.
+CONFIG_SCHEMA_VERSION = 5
 
 #: Fields that only control *observation* (what gets traced), never the
 #: simulated dynamics or any physics-derived ScenarioMetrics value, and
@@ -80,11 +85,45 @@ PROTOCOLS = (
 QUEUES = ("fifo", "red", "ared", "drr")
 
 # Scenario backends: the discrete-event packet engine (ground truth at
-# any N it can afford) or the mean-field fluid solver (the N -> infinity
-# limit system; cost independent of n_clients).  The fluid backend
-# models the paper's core grid only -- Reno/Vegas through a droptail or
-# RED gateway under the open-loop workload; see validate().
-BACKENDS = ("packet", "fluid")
+# any N it can afford), the mean-field fluid solver (the N -> infinity
+# limit system; cost independent of n_clients), or the hybrid
+# co-simulation (K foreground packet flows against the fluid background
+# aggregate; cost scales with K, not N).  The fluid and hybrid backends
+# model the paper's core grid only -- Reno/Vegas through a droptail or
+# RED gateway under the open-loop workload; see _BACKEND_CAPABILITIES.
+BACKENDS = ("packet", "fluid", "hybrid")
+
+#: Per-backend capability table: which config features each scenario
+#: backend can honor.  validate() walks this table so every rejection
+#: names the backend and the unsupported feature, and widening a
+#: backend's envelope (or adding a backend) is a data edit here rather
+#: than another blanket check.  An absent key means "everything the
+#: packet engine accepts".  ``obs`` covers the flight recorder
+#: (obs_trace/obs_profile) and ``forensics`` the burst-forensics probe:
+#: the hybrid backend supports both because its foreground flows are
+#: real packet flows, while the pure fluid limit has no packets to
+#: observe or attribute.
+_BACKEND_CAPABILITIES = {
+    "packet": {},  # the reference engine: every feature is supported
+    "fluid": {
+        "protocols": ("reno", "vegas"),
+        "queues": ("fifo", "red"),
+        "workloads": ("open",),
+        "traffic": ("poisson", "cbr"),
+        "pacing": False,
+        "obs": False,
+        "forensics": False,
+    },
+    "hybrid": {
+        "protocols": ("reno", "vegas"),
+        "queues": ("fifo", "red"),
+        "workloads": ("open",),
+        "traffic": ("poisson", "cbr"),
+        "pacing": False,
+        "obs": True,
+        "forensics": True,
+    },
+}
 
 # Application workloads: "open" is the paper's open-loop traffic (the
 # `traffic` field picks the source); the rest are the closed-loop
@@ -106,6 +145,16 @@ class ScenarioConfig:
     # satisfy each other's cache lookups.
     backend: str = "packet"
     n_clients: int = 20
+    # Hybrid backend knobs (used only when backend == "hybrid"; all
+    # digest-included because they change the simulated physics).
+    # ``hybrid_foreground_flows`` is K, the number of packet-exact
+    # foreground flows; ``hybrid_background_flows`` pins the fluid
+    # aggregate's flow count explicitly (0 = the ambient remainder,
+    # n_clients - K); ``hybrid_coupling_dt`` is the foreground->fluid
+    # feedback interval in seconds (0 = one fluid RK4 step).
+    hybrid_foreground_flows: int = 10
+    hybrid_background_flows: int = 0
+    hybrid_coupling_dt: float = 0.0
     duration: float = 200.0  # Table 1: total test time
     warmup: float = 0.0  # measurement start (0 = measure from t=0, as the paper)
     seed: int = 1
@@ -289,6 +338,15 @@ class ScenarioConfig:
         return self.bottleneck_capacity_pps / self.per_client_rate
 
     @property
+    def hybrid_background_count(self) -> int:
+        """Background (fluid-aggregate) flow count of a hybrid run: the
+        explicit ``hybrid_background_flows`` knob when set, else the
+        ambient remainder ``n_clients - hybrid_foreground_flows``."""
+        if self.hybrid_background_flows > 0:
+            return self.hybrid_background_flows
+        return max(self.n_clients - self.hybrid_foreground_flows, 0)
+
+    @property
     def label(self) -> str:
         """Human-readable protocol/queue label (Figure 2 legend style)."""
         names = {
@@ -304,6 +362,8 @@ class ScenarioConfig:
         base = names.get(self.protocol, self.protocol)
         if self.backend == "fluid":
             base = f"{base}~fluid"
+        elif self.backend == "hybrid":
+            base = f"{base}~hybrid"
         if self.pacing:
             base = f"{base}/Paced"
         if self.workload != "open":
@@ -331,41 +391,54 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
             )
-        if self.backend == "fluid":
-            # The mean-field system is derived for the paper's core
-            # grid; anything outside it silently running the wrong
-            # physics would be worse than an error.
-            if self.protocol not in ("reno", "vegas"):
+        # Capability-table checks: the mean-field backends are derived
+        # for the paper's core grid; anything outside it silently
+        # running the wrong physics would be worse than an error.  Each
+        # rejection names the backend and the unsupported feature.
+        caps = _BACKEND_CAPABILITIES[self.backend]
+        for feature, name, value in (
+            ("protocols", "protocol", self.protocol),
+            ("queues", "queue", self.queue),
+            ("workloads", "workload", self.workload),
+            ("traffic", "traffic model", self.traffic),
+        ):
+            allowed = caps.get(feature)
+            if allowed is not None and value not in allowed:
                 raise ValueError(
-                    "the fluid backend models reno/vegas only; "
-                    f"got protocol {self.protocol!r}"
+                    f"the {self.backend} backend does not support "
+                    f"{name} {value!r} (supported: {'/'.join(allowed)})"
                 )
-            if self.queue not in ("fifo", "red"):
+        if self.pacing and not caps.get("pacing", True):
+            raise ValueError(
+                f"the {self.backend} backend does not support pacing"
+            )
+        if (self.obs_trace or self.obs_profile) and not caps.get("obs", True):
+            raise ValueError(
+                f"the {self.backend} backend does not support the flight "
+                "recorder (obs_trace/obs_profile): the mean-field limit "
+                "has no per-flow packets to trace"
+            )
+        if self.forensics and not caps.get("forensics", True):
+            raise ValueError(
+                f"the {self.backend} backend does not support burst "
+                "forensics: no per-flow packets to attribute"
+            )
+        if self.backend == "hybrid":
+            if self.hybrid_foreground_flows < 1:
                 raise ValueError(
-                    "the fluid backend models fifo/red gateways only; "
-                    f"got queue {self.queue!r}"
+                    "hybrid_foreground_flows must be at least 1"
                 )
-            if self.workload != "open":
+            if self.hybrid_foreground_flows > self.n_clients:
                 raise ValueError(
-                    "the fluid backend supports the open-loop workload only"
+                    "hybrid_foreground_flows cannot exceed n_clients "
+                    f"({self.hybrid_foreground_flows} > {self.n_clients})"
                 )
-            if self.traffic not in ("poisson", "cbr"):
+            if self.hybrid_background_flows < 0:
                 raise ValueError(
-                    "the fluid backend models rate-limited poisson/cbr "
-                    f"sources only; got traffic {self.traffic!r}"
+                    "hybrid_background_flows must be non-negative"
                 )
-            if self.pacing:
-                raise ValueError("the fluid backend does not model pacing")
-            if self.obs_trace or self.obs_profile:
-                raise ValueError(
-                    "the fluid backend has no flight recorder; disable "
-                    "obs_trace/obs_profile"
-                )
-            if self.forensics:
-                raise ValueError(
-                    "the fluid backend has no per-flow packets; "
-                    "burst forensics requires the packet backend"
-                )
+            if self.hybrid_coupling_dt < 0:
+                raise ValueError("hybrid_coupling_dt must be non-negative")
         if self.n_clients < 1:
             raise ValueError("need at least one client")
         if self.duration <= 0:
@@ -439,7 +512,12 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"
             )
-        if self.engine == "batch":
+        # The hybrid backend runs its foreground through the object-flow
+        # scenario machinery regardless of the (digest-excluded) engine
+        # knob, so engine="batch" is accepted as a no-op there -- which
+        # is what pins hybrid metrics bit-identical across engines.  The
+        # other backends keep the strict envelope check.
+        if self.engine == "batch" and self.backend != "hybrid":
             self.validate_batch_engine()
         if self.protocol == "reno_ecn" and self.queue == "fifo":
             raise ValueError("reno_ecn requires an ECN-marking (RED) gateway")

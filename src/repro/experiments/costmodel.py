@@ -23,9 +23,12 @@ because simulated event count scales with the units.
 Packet cells cost ``duration * n_clients`` units (event count grows in
 both); fluid cells cost ``duration`` alone -- the mean-field solver's
 state is a window density, so its wall time is independent of N.
-Keeping ``backend`` in the lane key means the two alphas are learned
-separately and a mixed packet/fluid grid is still scheduled LPT-first
-on sane estimates.
+Hybrid cells cost ``duration * K`` with ``K = hybrid_foreground_flows``:
+the event count tracks the K packet-exact foreground flows while the
+fluid background is N-independent, so the ambient ``n_clients`` drops
+out just as it does for pure fluid.  Keeping ``backend`` in the lane
+key means each backend's alpha is learned separately and a mixed grid
+is still scheduled LPT-first on sane estimates.
 """
 
 from __future__ import annotations
@@ -47,10 +50,14 @@ def cell_units(config: ScenarioConfig) -> float:
     the simulated duration and the number of clients, so their product
     is the natural unit of work.  Fluid cells: the ODE solver's step
     count depends on duration only (its state is a window density, not
-    N flows), so n_clients drops out of the estimate.
+    N flows), so n_clients drops out of the estimate.  Hybrid cells:
+    event count tracks the K packet-exact foreground flows, not the
+    fluid ambient N.
     """
     units = max(config.duration, 1e-9)
-    if config.backend != "fluid":
+    if config.backend == "hybrid":
+        units *= max(config.hybrid_foreground_flows, 1)
+    elif config.backend != "fluid":
         units *= max(config.n_clients, 1)
     return units
 

@@ -74,9 +74,15 @@ class ScenarioMetrics:
     fairness: float
     mean_latency: float
     max_latency: float
-    #: Which solver produced this row ("packet" or "fluid"); the
-    #: default covers records written by pre-backend versions.
+    #: Which solver produced this row ("packet", "fluid", or "hybrid");
+    #: the default covers records written by pre-backend versions.
     backend: str = "packet"
+    #: How many flows the per-flow metrics summarize: n_clients for the
+    #: packet backend, 0 for fluid (the limit has no individual flows),
+    #: and K = hybrid_foreground_flows for the hybrid backend (whose
+    #: cov/throughput/loss are foreground-scoped).  The default covers
+    #: pre-hybrid records.
+    measured_flows: int = 0
     # Job-level application metrics (closed-loop workloads; the fields
     # default to empty/NaN for open-loop runs and records written by
     # pre-workload versions of this code).
@@ -234,6 +240,7 @@ class ScenarioMetrics:
             queue=config.queue,
             label=config.label,
             backend=config.backend,
+            measured_flows=len(result.per_flow),
             n_clients=config.n_clients,
             seed=config.seed,
             duration=config.duration,

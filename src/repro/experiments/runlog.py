@@ -11,14 +11,15 @@ Events (all carry ``t`` = wall-clock seconds and ``event``):
 * ``sweep_start``    -- ``total`` cells, worker count, cache directory,
   executor ``pool`` and ``schedule``.
 * ``task_start``     -- ``index``, ``digest``, ``label``, ``attempt``,
-  the scenario ``backend`` (``packet``/``fluid``), and (persistent
+  the scenario ``backend`` (``packet``/``fluid``/``hybrid``), and
+  (persistent
   pool) the ``worker`` id it was dispatched to.
 * ``task_done``      -- ``index``, ``digest``, ``elapsed``, ``attempt``
   count, scheduling ``lane`` (``cost``/``fifo``), the scenario
   ``backend``, ``worker`` id, plus engine telemetry when available:
   ``events_executed``, ``sim_wall_ratio``, ``peak_rss_kb``.  The
   backend tag lets a later sweep's cost model learn separate
-  wall-time alphas for fluid vs packet cells from this log.
+  wall-time alphas for packet vs fluid vs hybrid cells from this log.
 * ``task_retry``     -- ``index``, ``digest``, ``attempt``, ``error``,
   ``delay``.
 * ``task_failed``    -- ``index``, ``digest``, ``error`` (retries
@@ -185,9 +186,10 @@ class RunLog:
         ``attempt`` is how many failed attempts preceded this success
         and ``lane`` names the scheduling policy (``cost``/``fifo``)
         that ordered the cell, so retries and makespan wins stay
-        auditable from the JSONL log.  ``backend`` tags the row with the
-        solver that produced it (``packet``/``fluid``) so cost models
-        seeded from this log keep the two wall-time regimes apart.  The
+        auditable from the JSONL log.  ``backend`` tags the row with
+        the solver that produced it (``packet``/``fluid``/``hybrid``)
+        so cost models seeded from this log keep the wall-time regimes
+        apart.  The
         engine extras (events executed, simulated-seconds per wall
         second, peak RSS) come from the flight recorder's ``perf_*``
         metrics; None (or NaN) values are simply omitted from the

@@ -204,6 +204,11 @@ class Scenario:
         self.network = DumbbellNetwork(
             self.sim, dumbbell_params, self.streams.stream("topology")
         )
+        # Subclass hook: runs after the topology exists but before any
+        # monitor attaches or any flow is built, so a backend can swap
+        # gateway machinery (the hybrid backend replaces the bottleneck
+        # interface with its fluid-coupled port here).
+        self._finalize_network()
 
         self.monitor = ArrivalMonitor(
             bin_width=config.effective_bin_width, start_time=config.warmup
@@ -286,6 +291,9 @@ class Scenario:
         return REDQueue(
             params.buffer_capacity, red_params, red_rng, name="q:gateway->server"
         )
+
+    def _finalize_network(self) -> None:
+        """Post-topology hook for backend subclasses (no-op here)."""
 
     def _tcp_params(self) -> TcpParams:
         config = self.config
@@ -638,18 +646,27 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build and run one scenario (the one-call public entry point).
 
     Dispatches on ``config.backend``: the discrete-event packet engine
-    (default) or the mean-field fluid solver
-    (:func:`repro.core.fluid_backend.run_fluid_scenario`), both
+    (default), the mean-field fluid solver
+    (:func:`repro.core.fluid_backend.run_fluid_scenario`), or the
+    hybrid fluid/packet co-simulation
+    (:func:`repro.core.hybrid_backend.run_hybrid_scenario`), all
     returning the same :class:`ScenarioResult` shape.  Within the
     packet backend, ``config.engine`` selects the per-flow object
     engine (default) or the vectorized flow-batch engine
     (:class:`repro.engine.batch.BatchScenario`), which is pinned
-    bit-identical by tests/test_batch_differential.py.
+    bit-identical by tests/test_batch_differential.py.  The hybrid
+    backend uses the object machinery for its K foreground flows
+    regardless of ``engine`` (the knob is digest-excluded and accepted
+    as a no-op there).
     """
     if config.backend == "fluid":
         from repro.core.fluid_backend import run_fluid_scenario
 
         return run_fluid_scenario(config)
+    if config.backend == "hybrid":
+        from repro.core.hybrid_backend import run_hybrid_scenario
+
+        return run_hybrid_scenario(config)
     if config.engine == "batch":
         from repro.engine.batch import BatchScenario
 

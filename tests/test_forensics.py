@@ -379,8 +379,11 @@ class TestForensicsConfig:
         assert params.burst_exit >= 0
 
     def test_fluid_backend_rejected(self):
+        # The capability table names the backend and the feature; the
+        # hybrid backend's foreground flows are real packets, so
+        # forensics is allowed there (tests/test_hybrid_properties.py).
         config = paper_config(backend="fluid", forensics=True)
-        with pytest.raises(ValueError, match="packet backend"):
+        with pytest.raises(ValueError, match="burst forensics"):
             config.validate()
 
     def test_knob_range_validation(self):
@@ -410,7 +413,10 @@ class TestForensicsConfig:
             forensics_sync_fraction=0.5,
         )
         assert tweaked.config_digest() == base.config_digest()
-        assert CONFIG_SCHEMA_VERSION == 4  # observation-only: no bump
+        # Observation-only knobs never bump the schema themselves; the
+        # pin is >= so unrelated physics bumps (e.g. v5's hybrid
+        # backend) don't trip it.
+        assert CONFIG_SCHEMA_VERSION >= 4
 
 
 # ----------------------------------------------------------------------
